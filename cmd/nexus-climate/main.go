@@ -1,0 +1,126 @@
+// nexus-climate runs the miniature coupled climate model (§4's case study)
+// on the real library across a two-partition machine and compares
+// multimethod communication strategies end to end: wide-area-only,
+// multimethod with a skip_poll sweep, and multimethod with auto-derived
+// skip_poll values.
+//
+//	nexus-climate                      # default sweep
+//	nexus-climate -steps 32 -atmo 8 -ocean 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"nexus"
+)
+
+var (
+	atmoRanks  = flag.Int("atmo", 4, "atmosphere ranks")
+	oceanRanks = flag.Int("ocean", 2, "ocean ranks")
+	steps      = flag.Int("steps", 24, "atmosphere steps")
+	load       = flag.Int("load", 8, "synthetic per-cell physics load")
+	skips      = flag.String("skips", "1,10,50,200", "skip_poll values to sweep")
+	fastPoll   = flag.Duration("fast-poll", 3*time.Microsecond, "fast-method poll cost")
+	widePoll   = flag.Duration("wide-poll", 60*time.Microsecond, "wide-area poll cost")
+	wideLat    = flag.Duration("wide-latency", 300*time.Microsecond, "wide-area latency")
+)
+
+func main() {
+	flag.Parse()
+	cfg := nexus.ClimateConfig{
+		AtmoRanks: *atmoRanks, OceanRanks: *oceanRanks,
+		AtmoNX: 64, AtmoNY: 48,
+		OceanNX: 32, OceanNY: 24,
+		Steps: *steps, CoupleEvery: 2,
+		Diffusivity: 0.5, DT: 0.25,
+		Load: *load,
+	}
+	fast := nexus.Params{"latency": "5us", "poll_cost": (*fastPoll).String(), "bandwidth": "2e9"}
+	wide := nexus.Params{"latency": (*wideLat).String(), "poll_cost": (*widePoll).String(), "bandwidth": "5e7"}
+
+	fmt.Printf("coupled model: atmosphere %d ranks, ocean %d ranks, %d steps, couple every %d\n\n",
+		cfg.AtmoRanks, cfg.OceanRanks, cfg.Steps, cfg.CoupleEvery)
+	fmt.Printf("%-24s %14s %12s\n", "configuration", "elapsed (ms)", "vs best")
+
+	type result struct {
+		name string
+		st   nexus.ClimateStats
+	}
+	var results []result
+
+	// Wide-area-only: even intra-component traffic pays wide-area costs
+	// (the paper's no-multimethod configuration).
+	results = append(results, result{"wan only", run(cfg, nil, 0, false,
+		nexus.MethodConfig{Name: "wan", Params: wide})})
+
+	// Multimethod with a skip_poll sweep.
+	for _, s := range strings.Split(*skips, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad skip %q", s)
+		}
+		results = append(results, result{fmt.Sprintf("mpl+wan skip_poll %d", k),
+			run(cfg, nil, k, false,
+				nexus.MethodConfig{Name: "mpl", Params: fast},
+				nexus.MethodConfig{Name: "wan", Params: wide})})
+	}
+
+	// Multimethod with auto-derived skip_poll (from poll-cost hints).
+	results = append(results, result{"mpl+wan auto skip_poll",
+		run(cfg, nil, 0, true,
+			nexus.MethodConfig{Name: "mpl", Params: fast},
+			nexus.MethodConfig{Name: "wan", Params: wide})})
+
+	best := results[0].st.Elapsed
+	for _, r := range results[1:] {
+		if r.st.Elapsed < best {
+			best = r.st.Elapsed
+		}
+	}
+	var sum0 float64
+	for i, r := range results {
+		if i == 0 {
+			sum0 = r.st.AtmoChecksum
+		} else if r.st.AtmoChecksum != sum0 {
+			log.Fatalf("checksum mismatch in %q: methods must not change results", r.name)
+		}
+		fmt.Printf("%-24s %14.2f %11.2fx\n", r.name,
+			float64(r.st.Elapsed.Microseconds())/1000,
+			float64(r.st.Elapsed)/float64(best))
+	}
+	fmt.Printf("\nall configurations produced identical checksums (atmo %.6f)\n", sum0)
+}
+
+func run(cfg nexus.ClimateConfig, _ []string, skip int, auto bool, methods ...nexus.MethodConfig) nexus.ClimateStats {
+	machine, err := nexus.NewMachine(nexus.TwoPartitionMachine(
+		cfg.AtmoRanks, "atmosphere", cfg.OceanRanks, "ocean", methods...))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer machine.Close()
+	for r := 0; r < machine.Size(); r++ {
+		ctx := machine.Context(r)
+		if auto {
+			ctx.AutoSkipPoll()
+		} else if skip > 1 {
+			if err := ctx.SetSkipPoll("wan", skip); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	world, err := nexus.NewWorld(machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	world.SetTimeout(5 * time.Minute)
+	st, err := nexus.RunClimate(world, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st
+}

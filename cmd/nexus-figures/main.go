@@ -1,0 +1,157 @@
+// nexus-figures regenerates every quantitative table and figure of the
+// paper from the calibrated performance models (virtual time, deterministic).
+//
+//	nexus-figures -exp fig4a      # Figure 4 (left): 0–1000 B ping-pong
+//	nexus-figures -exp fig4b      # Figure 4 (right): wide size range
+//	nexus-figures -exp fig6a      # Figure 6 (left): skip_poll sweep, 0 B
+//	nexus-figures -exp fig6b      # Figure 6 (right): skip_poll sweep, 10 KB
+//	nexus-figures -exp table1     # Table 1: coupled-model strategies
+//	nexus-figures -exp all        # everything
+//
+// Add -csv for machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nexus/internal/model"
+)
+
+var (
+	expFlag = flag.String("exp", "all", "experiment: fig4a, fig4b, fig6a, fig6b, table1, table1sweep, ablation, all")
+	csvFlag = flag.Bool("csv", false, "emit CSV instead of aligned columns")
+	rounds  = flag.Int("rounds", 400, "ping-pong roundtrips per measured point")
+)
+
+func main() {
+	flag.Parse()
+	p := model.DefaultSP2()
+	ok := false
+	run := func(name string, fn func(model.SP2)) {
+		if *expFlag == name || *expFlag == "all" {
+			fn(p)
+			ok = true
+		}
+	}
+	run("fig4a", fig4a)
+	run("fig4b", fig4b)
+	run("fig6a", func(p model.SP2) { fig6(p, 0, "Figure 6 (left): one-way time vs skip_poll, 0-byte messages") })
+	run("fig6b", func(p model.SP2) { fig6(p, 10*1024, "Figure 6 (right): one-way time vs skip_poll, 10 KB messages") })
+	run("table1", table1)
+	run("table1sweep", table1Sweep)
+	run("ablation", ablation)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func fig4a(p model.SP2) {
+	sizes := []int{0, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	printFig4("Figure 4 (left): one-way time vs message size, 0-1000 bytes", p, sizes)
+}
+
+func fig4b(p model.SP2) {
+	sizes := []int{0, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	printFig4("Figure 4 (right): one-way time vs message size, wide range", p, sizes)
+}
+
+func printFig4(title string, p model.SP2, sizes []int) {
+	pts := model.Figure4(p, sizes, *rounds)
+	if *csvFlag {
+		fmt.Println("size_bytes,raw_mpl_us,nexus_mpl_us,nexus_mpl_tcp_us")
+		for _, pt := range pts {
+			fmt.Printf("%d,%.2f,%.2f,%.2f\n", pt.Size, us(pt.RawMPL), us(pt.NexusMPL), us(pt.NexusMPLTCP))
+		}
+		return
+	}
+	fmt.Println(title)
+	fmt.Printf("%10s %14s %14s %16s\n", "size (B)", "raw MPL (µs)", "Nexus MPL (µs)", "Nexus MPL+TCP (µs)")
+	for _, pt := range pts {
+		fmt.Printf("%10d %14.1f %14.1f %16.1f\n", pt.Size, us(pt.RawMPL), us(pt.NexusMPL), us(pt.NexusMPLTCP))
+	}
+	fmt.Println()
+}
+
+func fig6(p model.SP2, size int, title string) {
+	skips := []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+	pts := model.Figure6(p, skips, size, 5*(*rounds))
+	if *csvFlag {
+		fmt.Println("skip_poll,mpl_oneway_us,tcp_oneway_us,tcp_roundtrips")
+		for _, pt := range pts {
+			fmt.Printf("%d,%.2f,%.2f,%d\n", pt.Skip, us(pt.MPLOneWay), us(pt.TCPOneWay), pt.TCPRoundtrips)
+		}
+		return
+	}
+	fmt.Println(title)
+	fmt.Printf("%10s %16s %16s %8s\n", "skip_poll", "MPL 1-way (µs)", "TCP 1-way (µs)", "TCP rts")
+	for _, pt := range pts {
+		fmt.Printf("%10d %16.1f %16.1f %8d\n", pt.Skip, us(pt.MPLOneWay), us(pt.TCPOneWay), pt.TCPRoundtrips)
+	}
+	fmt.Println()
+}
+
+func table1Sweep(p model.SP2) {
+	cfg := model.DefaultCoupled()
+	cfg.P = p
+	skips := []int{1, 10, 100, 1000, 4000, 8000, 10000, 11000, 12000, 12500, 13000, 16000}
+	rows := model.Table1Sweep(cfg, skips)
+	if *csvFlag {
+		fmt.Println("skip_poll,seconds_per_timestep")
+		for i, r := range rows {
+			fmt.Printf("%d,%.2f\n", skips[i], r.SecondsPerStep)
+		}
+		return
+	}
+	fmt.Println("Table 1 sweep: seconds per timestep vs skip_poll (fine grain)")
+	fmt.Printf("%10s %12s\n", "skip_poll", "s/step")
+	for i, r := range rows {
+		fmt.Printf("%10d %12.2f\n", skips[i], r.SecondsPerStep)
+	}
+	fmt.Println()
+}
+
+func ablation(p model.SP2) {
+	cfg := model.DefaultCoupled()
+	cfg.P = p
+	sizes := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+	pts := model.ForwardingAblation(cfg, sizes)
+	if *csvFlag {
+		fmt.Println("couple_bytes,tuned_skip_poll_s,forwarding_s")
+		for _, pt := range pts {
+			fmt.Printf("%d,%.2f,%.2f\n", pt.CoupleBytes, pt.TunedSkipPoll, pt.Forwarding)
+		}
+		return
+	}
+	fmt.Println("Ablation: tuned skip_poll vs forwarding as coupling payload grows")
+	fmt.Printf("%14s %18s %14s\n", "payload (B)", "tuned skip (s)", "forwarding (s)")
+	for _, pt := range pts {
+		fmt.Printf("%14d %18.2f %14.2f\n", pt.CoupleBytes, pt.TunedSkipPoll, pt.Forwarding)
+	}
+	fmt.Println()
+}
+
+func table1(p model.SP2) {
+	cfg := model.DefaultCoupled()
+	cfg.P = p
+	rows := model.Table1(cfg)
+	if *csvFlag {
+		fmt.Println("experiment,seconds_per_timestep")
+		for _, r := range rows {
+			fmt.Printf("%q,%.1f\n", r.Experiment, r.SecondsPerStep)
+		}
+		return
+	}
+	fmt.Println("Table 1: coupled-model execution time per timestep (24 processors)")
+	fmt.Printf("%-30s %10s\n", "Experiment", "Total (s)")
+	for _, r := range rows {
+		fmt.Printf("%-30s %10.1f\n", r.Experiment, r.SecondsPerStep)
+	}
+	fmt.Println()
+}

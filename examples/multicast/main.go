@@ -1,0 +1,131 @@
+// Multicast: a collaborative-environment style session in which one writer
+// multicasts shared-state updates to several viewers over a single
+// startpoint bound to many endpoints.
+//
+// It demonstrates the paper's §2 collaborative scenario: reliable delivery
+// for critical control messages (the session roster) and an unreliable
+// method for high-rate state updates that tolerate loss — with the method
+// chosen per link by reordering each link's descriptor table, not by
+// changing application code.
+//
+//	go run ./examples/multicast
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"nexus"
+)
+
+const viewers = 3
+
+func main() {
+	methods := []nexus.MethodConfig{
+		{Name: "inproc"}, // reliable, fast (the "control" method)
+		{Name: "udp"},    // unreliable datagrams (the "update" method)
+	}
+	writer, err := nexus.NewContext(nexus.Options{Methods: methods})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer writer.Close()
+
+	type viewer struct {
+		ctx     *nexus.Context
+		updates atomic.Int64
+		joined  atomic.Bool
+	}
+	var vs [viewers]*viewer
+	var updateSP, controlSP *nexus.Startpoint
+
+	for i := range vs {
+		v := &viewer{}
+		v.ctx, err = nexus.NewContext(nexus.Options{Methods: methods})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer v.ctx.Close()
+		v.ctx.RegisterHandler("state.update", func(ep *nexus.Endpoint, b *nexus.Buffer) {
+			v.updates.Add(1)
+		})
+		v.ctx.RegisterHandler("session.joined", func(ep *nexus.Endpoint, b *nexus.Buffer) {
+			v.joined.Store(true)
+		})
+		ep := v.ctx.NewEndpoint()
+		sp, err := nexus.TransferStartpoint(ep.NewStartpoint(), writer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Build the two multicast groups: one startpoint for state updates,
+		// one for control traffic — both bound to every viewer's endpoint.
+		spCtl, err := nexus.TransferStartpoint(ep.NewStartpoint(), writer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if updateSP == nil {
+			updateSP, controlSP = sp, spCtl
+		} else {
+			updateSP.Merge(sp)
+			controlSP.Merge(spCtl)
+		}
+		vs[i] = v
+	}
+
+	// Manual selection per link: updates ride the unreliable method, control
+	// stays on the reliable one (which automatic selection already picks,
+	// since it is first in the table).
+	if err := updateSP.SetMethod("udp"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("update group: %d links via %q; control group via %q (auto)\n",
+		len(updateSP.Targets()), updateSP.Method(), mustSelect(controlSP))
+
+	// Announce the session (reliable), then stream updates (unreliable).
+	if err := controlSP.RSR("session.joined", nil); err != nil {
+		log.Fatal(err)
+	}
+	const updates = 200
+	for i := 0; i < updates; i++ {
+		b := nexus.NewBuffer(32)
+		b.PutInt(i)
+		b.PutFloat64(float64(i) * 0.25) // e.g. a shared cursor position
+		if err := updateSP.RSR("state.update", b); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Drain: poll every viewer for a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, v := range vs {
+			v.ctx.Poll()
+			if !v.joined.Load() || v.updates.Load() < updates {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for i, v := range vs {
+		fmt.Printf("viewer %d: joined=%v updates=%d/%d (unreliable delivery: gaps are expected under load)\n",
+			i, v.joined.Load(), v.updates.Load(), updates)
+		if !v.joined.Load() {
+			log.Fatalf("viewer %d missed the reliable control message", i)
+		}
+	}
+}
+
+func mustSelect(sp *nexus.Startpoint) string {
+	m, err := sp.SelectMethod()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,107 @@
+// Quickstart: two contexts, one communication link, remote service requests
+// in both directions.
+//
+// It demonstrates the package's core loop: create contexts with a set of
+// communication methods, build a link (startpoint -> endpoint), move the
+// startpoint to the other context inside an RSR-able buffer, and let
+// automatic method selection pick the transport.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nexus"
+)
+
+func main() {
+	// A "server" context that can be reached over real TCP and, for
+	// contexts in the same process, over shared memory. Method order is
+	// selection preference: fastest first.
+	server, err := nexus.NewContext(nexus.Options{
+		Methods: []nexus.MethodConfig{
+			{Name: "inproc"},
+			{Name: "tcp"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+
+	client, err := nexus.NewContext(nexus.Options{
+		Methods: []nexus.MethodConfig{
+			{Name: "inproc"},
+			{Name: "tcp"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// The server exposes one endpoint whose handler echoes greetings back
+	// over a startpoint the client packs into each request.
+	server.RegisterHandler("greet", func(ep *nexus.Endpoint, b *nexus.Buffer) {
+		name := b.String()
+		reply, err := ep.Context().DecodeStartpoint(b)
+		if err != nil {
+			log.Printf("server: bad request: %v", err)
+			return
+		}
+		method, err := reply.SelectMethod()
+		if err != nil {
+			log.Printf("server: no route back: %v", err)
+			return
+		}
+		out := nexus.NewBuffer(64)
+		out.PutString(fmt.Sprintf("hello, %s (served via %s)", name, method))
+		if err := reply.RSR("", out); err != nil {
+			log.Printf("server: reply failed: %v", err)
+		}
+	})
+	serverEP := server.NewEndpoint()
+
+	// Hand the server's startpoint to the client, as if it had arrived over
+	// the network (it carries the descriptor table either way).
+	sp, err := nexus.TransferStartpoint(serverEP.NewStartpoint(), client)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The client's reply endpoint.
+	done := make(chan string, 1)
+	replyEP := client.NewEndpoint(nexus.WithHandler(func(ep *nexus.Endpoint, b *nexus.Buffer) {
+		done <- b.String()
+	}))
+
+	// Issue the request: a name plus the reply startpoint, in one buffer.
+	req := nexus.NewBuffer(128)
+	req.PutString("metacomputing world")
+	replyEP.NewStartpoint().Encode(req)
+	if err := sp.RSR("greet", req); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client: request sent via %q (selected automatically)\n", sp.Method())
+
+	// Poll both contexts until the reply lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		select {
+		case msg := <-done:
+			fmt.Println("client: " + msg)
+			stats := client.Stats().Snapshot()
+			fmt.Printf("client enquiry: rsr.sent=%d rsr.recv=%d\n", stats["rsr.sent"], stats["rsr.recv"])
+			return
+		default:
+			if time.Now().After(deadline) {
+				log.Fatal("no reply within deadline")
+			}
+			server.Poll()
+			client.Poll()
+		}
+	}
+}

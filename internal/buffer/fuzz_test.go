@@ -1,0 +1,38 @@
+package buffer
+
+import "testing"
+
+// FuzzFromBytes checks that decoding arbitrary bytes never panics and that
+// every typed read on the result fails cleanly or stays in bounds.
+func FuzzFromBytes(f *testing.F) {
+	seed := New(32)
+	seed.PutString("seed")
+	seed.PutFloat64s([]float64{1, 2})
+	f.Add(seed.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{byte(BigEndian), 0, 0, 0, 200}) // lying length prefix
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := FromBytes(data)
+		if err != nil {
+			return
+		}
+		// Exercise every reader; none may panic, and errors must be sticky.
+		_ = b.Bool()
+		_ = b.Uint16()
+		_ = b.String()
+		_ = b.Float64s()
+		_ = b.Int32s()
+		_ = b.BytesValue()
+		_ = b.Raw(3)
+		if b.Remaining() < 0 {
+			t.Error("negative Remaining")
+		}
+		if b.Err() != nil {
+			before := b.Remaining()
+			_ = b.Uint64()
+			if b.Remaining() != before {
+				t.Error("read after error consumed bytes")
+			}
+		}
+	})
+}

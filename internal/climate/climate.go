@@ -1,0 +1,270 @@
+package climate
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nexus/internal/buffer"
+	"nexus/internal/mpi"
+)
+
+// Config parameterises a coupled run. The defaults mirror the paper's
+// experiment shape: a larger atmosphere component, a smaller ocean component,
+// coupling every second atmosphere step.
+type Config struct {
+	// AtmoRanks and OceanRanks split the world: ranks [0,AtmoRanks) run the
+	// atmosphere, [AtmoRanks, AtmoRanks+OceanRanks) the ocean. Their sum
+	// must equal the world size.
+	AtmoRanks  int
+	OceanRanks int
+	// Grid sizes per component.
+	AtmoNX, AtmoNY   int
+	OceanNX, OceanNY int
+	// Steps is the number of atmosphere time steps.
+	Steps int
+	// CoupleEvery exchanges surface fields every k atmosphere steps (the
+	// paper's models couple every 2). 0 disables coupling.
+	CoupleEvery int
+	// Diffusivity and DT parameterise the explicit update (stability needs
+	// Diffusivity*DT <= 0.25).
+	Diffusivity float64
+	DT          float64
+	// Load adds synthetic per-cell physics work, calibrating the
+	// compute-to-communication ratio.
+	Load int
+	// Gain scales the coupling forcing.
+	Gain float64
+}
+
+// Defaults fills unset fields with a small, fast configuration.
+func (c Config) withDefaults() Config {
+	if c.AtmoRanks == 0 {
+		c.AtmoRanks = 2
+	}
+	if c.OceanRanks == 0 {
+		c.OceanRanks = 1
+	}
+	if c.AtmoNX == 0 {
+		c.AtmoNX = 32
+	}
+	if c.AtmoNY == 0 {
+		c.AtmoNY = 24
+	}
+	if c.OceanNX == 0 {
+		c.OceanNX = 16
+	}
+	if c.OceanNY == 0 {
+		c.OceanNY = 12
+	}
+	if c.Steps == 0 {
+		c.Steps = 8
+	}
+	if c.Diffusivity == 0 {
+		c.Diffusivity = 0.5
+	}
+	if c.DT == 0 {
+		c.DT = 0.25
+	}
+	if c.Gain == 0 {
+		c.Gain = 1e-3
+	}
+	return c
+}
+
+// Component colors for the split.
+const (
+	colorAtmo  = 0
+	colorOcean = 1
+)
+
+// World-communicator tags for the root-to-root coupling exchange.
+const (
+	tagFluxes = 101 // atmosphere -> ocean
+	tagSST    = 102 // ocean -> atmosphere
+)
+
+// Stats summarises a coupled run.
+type Stats struct {
+	// Steps is the number of atmosphere steps executed.
+	Steps int
+	// Exchanges is the number of coupling exchanges performed.
+	Exchanges int
+	// AtmoChecksum and OceanChecksum are the global field sums at the end —
+	// bitwise deterministic for a given Config, independent of the
+	// communication methods used.
+	AtmoChecksum  float64
+	OceanChecksum float64
+	// Elapsed is the wall-clock duration of the parallel section.
+	Elapsed time.Duration
+}
+
+// rankResult carries each rank's contribution back to the driver.
+type rankResult struct {
+	color    int
+	checksum float64 // valid on component roots only
+	isRoot   bool
+}
+
+// Run executes the coupled model over every rank of the world and returns
+// the merged statistics. It drives all ranks on goroutines, which is how
+// single-process machines execute SPMD programs in this repository.
+func Run(w *mpi.World, cfg Config) (Stats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.AtmoRanks+cfg.OceanRanks != w.Size() {
+		return Stats{}, fmt.Errorf("climate: %d+%d ranks != world size %d",
+			cfg.AtmoRanks, cfg.OceanRanks, w.Size())
+	}
+	start := time.Now()
+	results := make([]rankResult, w.Size())
+	errs := make([]error, w.Size())
+	var wg sync.WaitGroup
+	for r := 0; r < w.Size(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = runRank(w.Comm(r), cfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return Stats{}, fmt.Errorf("climate: rank %d: %w", r, err)
+		}
+	}
+	st := Stats{Steps: cfg.Steps, Elapsed: time.Since(start)}
+	if cfg.CoupleEvery > 0 {
+		st.Exchanges = cfg.Steps / cfg.CoupleEvery
+	}
+	for _, res := range results {
+		if !res.isRoot {
+			continue
+		}
+		if res.color == colorAtmo {
+			st.AtmoChecksum = res.checksum
+		} else {
+			st.OceanChecksum = res.checksum
+		}
+	}
+	return st, nil
+}
+
+// runRank is the SPMD body for one rank.
+func runRank(world *mpi.Comm, cfg Config) (rankResult, error) {
+	color := colorAtmo
+	if world.Rank() >= cfg.AtmoRanks {
+		color = colorOcean
+	}
+	comp, err := world.Split(color, world.Rank())
+	if err != nil {
+		return rankResult{}, err
+	}
+
+	var m *subModel
+	if color == colorAtmo {
+		m, err = newSubModel(comp, cfg.AtmoNX, cfg.AtmoNY, cfg.Diffusivity, cfg.DT, cfg.Load,
+			func(x, y int) float64 { return float64((x+1)*(y+2)%17) / 17.0 })
+	} else {
+		m, err = newSubModel(comp, cfg.OceanNX, cfg.OceanNY, cfg.Diffusivity, cfg.DT, cfg.Load,
+			func(x, y int) float64 { return float64((x+3)*(y+1)%13) / 13.0 })
+	}
+	if err != nil {
+		return rankResult{}, err
+	}
+
+	// The coupling roots are world rank 0 (atmosphere) and world rank
+	// AtmoRanks (ocean).
+	atmoRoot, oceanRoot := 0, cfg.AtmoRanks
+	isCompRoot := comp.Rank() == 0
+
+	oceanStride := 1
+	if color == colorOcean && cfg.CoupleEvery > 0 {
+		oceanStride = cfg.CoupleEvery // the ocean steps once per coupling interval
+	}
+
+	for step := 1; step <= cfg.Steps; step++ {
+		if color == colorAtmo || step%oceanStride == 0 {
+			if err := m.step(); err != nil {
+				return rankResult{}, err
+			}
+		}
+		if cfg.CoupleEvery > 0 && step%cfg.CoupleEvery == 0 {
+			if err := couple(world, comp, m, color, atmoRoot, oceanRoot, isCompRoot, cfg); err != nil {
+				return rankResult{}, err
+			}
+		}
+	}
+
+	sum, err := m.checksum()
+	if err != nil {
+		return rankResult{}, err
+	}
+	return rankResult{color: color, checksum: sum, isRoot: isCompRoot}, nil
+}
+
+// couple performs one inter-model exchange: the atmosphere's surface flux
+// profile travels to the ocean and the ocean's SST profile to the
+// atmosphere, root to root over the world communicator (the inter-partition
+// path), then broadcast within each component.
+func couple(world, comp *mpi.Comm, m *subModel, color, atmoRoot, oceanRoot int, isCompRoot bool, cfg Config) error {
+	// Each component reduces its surface profile onto its root.
+	profile, err := m.surfaceProfile(color == colorAtmo)
+	if err != nil {
+		return err
+	}
+	var inbound []float64
+	if isCompRoot {
+		sendTag, recvTag := tagFluxes, tagSST
+		peer := oceanRoot
+		if color == colorOcean {
+			sendTag, recvTag = tagSST, tagFluxes
+			peer = atmoRoot
+		}
+		b := buffer.New(8*len(profile) + 8)
+		b.PutFloat64s(profile)
+		msg, err := world.Sendrecv(peer, sendTag, b, peer, recvTag)
+		if err != nil {
+			return err
+		}
+		inbound = msg.Buf.Float64s()
+		if err := msg.Buf.Err(); err != nil {
+			return err
+		}
+	}
+	// Broadcast the received profile within the component and apply it.
+	var bb *buffer.Buffer
+	if isCompRoot {
+		bb = buffer.New(8*len(inbound) + 8)
+		bb.PutFloat64s(inbound)
+	}
+	got, err := comp.Bcast(0, bb)
+	if err != nil {
+		return err
+	}
+	forcing := got.Float64s()
+	if err := got.Err(); err != nil {
+		return err
+	}
+	m.applyForcing(forcing, color == colorAtmo, cfg.Gain)
+	return nil
+}
+
+// wrapFloats packs a float64 vector into a fresh buffer.
+func wrapFloats(v []float64) *buffer.Buffer {
+	b := buffer.New(8*len(v) + 8)
+	b.PutFloat64s(v)
+	return b
+}
+
+// rowFromBuf unpacks a halo row into dst, validating its length.
+func rowFromBuf(msg *mpi.Message, dst []float64, nx int) error {
+	v := msg.Buf.Float64s()
+	if err := msg.Buf.Err(); err != nil {
+		return err
+	}
+	if len(v) != nx {
+		return fmt.Errorf("climate: halo row length %d, want %d", len(v), nx)
+	}
+	copy(dst, v)
+	return nil
+}

@@ -1,0 +1,226 @@
+package climate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nexus/internal/cluster"
+	"nexus/internal/core"
+	"nexus/internal/mpi"
+	"nexus/internal/transport"
+)
+
+func fastParams() transport.Params {
+	return transport.Params{"latency": "0", "poll_cost": "0", "bandwidth": "0"}
+}
+
+func worldOn(t testing.TB, cfg cluster.Config) *mpi.World {
+	t.Helper()
+	m, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	w, err := mpi.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetTimeout(20 * time.Second)
+	return w
+}
+
+func smallConfig() Config {
+	return Config{
+		AtmoRanks: 3, OceanRanks: 2,
+		AtmoNX: 24, AtmoNY: 18,
+		OceanNX: 12, OceanNY: 10,
+		Steps: 6, CoupleEvery: 2,
+		Diffusivity: 0.5, DT: 0.25,
+	}
+}
+
+func TestRowsForPartition(t *testing.T) {
+	f := func(nyRaw, ranksRaw uint8) bool {
+		ny := int(nyRaw)%200 + 1
+		ranks := int(ranksRaw)%16 + 1
+		if ny < ranks {
+			return true
+		}
+		covered := 0
+		prevEnd := 0
+		for r := 0; r < ranks; r++ {
+			r0, count := rowsFor(ny, ranks, r)
+			if r0 != prevEnd || count < 1 {
+				return false
+			}
+			prevEnd = r0 + count
+			covered += count
+		}
+		return covered == ny && prevEnd == ny
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunCompletes(t *testing.T) {
+	cfg := smallConfig()
+	w := worldOn(t, cluster.Uniform(cfg.AtmoRanks+cfg.OceanRanks, "p", core.MethodConfig{Name: "inproc"}))
+	st, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steps != cfg.Steps || st.Exchanges != cfg.Steps/cfg.CoupleEvery {
+		t.Errorf("Stats = %+v", st)
+	}
+	if st.AtmoChecksum == 0 || st.OceanChecksum == 0 {
+		t.Errorf("zero checksums: %+v", st)
+	}
+}
+
+// TestDeterministicAcrossMethods is the central integration invariant: the
+// coupled model produces bitwise-identical results whether it runs over a
+// single shared-memory machine or over the paper's two-partition layout
+// (mpl inside components, wan between them).
+func TestDeterministicAcrossMethods(t *testing.T) {
+	cfg := smallConfig()
+	n := cfg.AtmoRanks + cfg.OceanRanks
+
+	w1 := worldOn(t, cluster.Uniform(n, "p", core.MethodConfig{Name: "inproc"}))
+	st1, err := Run(w1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := worldOn(t, cluster.TwoPartition(cfg.AtmoRanks, "atmo", cfg.OceanRanks, "ocean",
+		core.MethodConfig{Name: "mpl", Params: fastParams()},
+		core.MethodConfig{Name: "wan", Params: fastParams()},
+	))
+	st2, err := Run(w2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if st1.AtmoChecksum != st2.AtmoChecksum {
+		t.Errorf("atmo checksum differs across methods: %v vs %v", st1.AtmoChecksum, st2.AtmoChecksum)
+	}
+	if st1.OceanChecksum != st2.OceanChecksum {
+		t.Errorf("ocean checksum differs across methods: %v vs %v", st1.OceanChecksum, st2.OceanChecksum)
+	}
+}
+
+// TestConservationWithoutCoupling checks the diffusion invariant: with
+// coupling disabled, the zero-flux boundaries conserve each field's total.
+func TestConservationWithoutCoupling(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CoupleEvery = 0
+	cfg.Steps = 10
+	n := cfg.AtmoRanks + cfg.OceanRanks
+	w := worldOn(t, cluster.Uniform(n, "p", core.MethodConfig{Name: "inproc"}))
+
+	// Initial sums, computed directly from the init functions.
+	atmoInit, oceanInit := 0.0, 0.0
+	for y := 0; y < cfg.AtmoNY; y++ {
+		for x := 0; x < cfg.AtmoNX; x++ {
+			atmoInit += float64((x+1)*(y+2)%17) / 17.0
+		}
+	}
+	for y := 0; y < cfg.OceanNY; y++ {
+		for x := 0; x < cfg.OceanNX; x++ {
+			oceanInit += float64((x+3)*(y+1)%13) / 13.0
+		}
+	}
+
+	st, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(st.AtmoChecksum-atmoInit) / atmoInit; rel > 1e-9 {
+		t.Errorf("atmo total drifted: %v -> %v (rel %e)", atmoInit, st.AtmoChecksum, rel)
+	}
+	if rel := math.Abs(st.OceanChecksum-oceanInit) / oceanInit; rel > 1e-9 {
+		t.Errorf("ocean total drifted: %v -> %v (rel %e)", oceanInit, st.OceanChecksum, rel)
+	}
+	if st.Exchanges != 0 {
+		t.Errorf("Exchanges = %d with coupling disabled", st.Exchanges)
+	}
+}
+
+// TestCouplingAffectsFields ensures the exchanged profiles actually feed
+// back into the models (so a broken coupling path would be caught).
+func TestCouplingAffectsFields(t *testing.T) {
+	base := smallConfig()
+	n := base.AtmoRanks + base.OceanRanks
+
+	run := func(coupleEvery int) Stats {
+		cfg := base
+		cfg.CoupleEvery = coupleEvery
+		cfg.Gain = 0.05
+		w := worldOn(t, cluster.Uniform(n, "p", core.MethodConfig{Name: "inproc"}))
+		st, err := Run(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	with := run(2)
+	without := run(0)
+	if with.AtmoChecksum == without.AtmoChecksum {
+		t.Error("coupling has no effect on the atmosphere field")
+	}
+	if with.OceanChecksum == without.OceanChecksum {
+		t.Error("coupling has no effect on the ocean field")
+	}
+}
+
+func TestRunDeterministicRepeat(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Load = 2
+	n := cfg.AtmoRanks + cfg.OceanRanks
+	var first Stats
+	for i := 0; i < 2; i++ {
+		w := worldOn(t, cluster.Uniform(n, "p", core.MethodConfig{Name: "inproc"}))
+		st, err := Run(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = st
+			continue
+		}
+		if st.AtmoChecksum != first.AtmoChecksum || st.OceanChecksum != first.OceanChecksum {
+			t.Errorf("run %d differs: %+v vs %+v", i, st, first)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	w := worldOn(t, cluster.Uniform(3, "p", core.MethodConfig{Name: "inproc"}))
+	cfg := smallConfig() // needs 5 ranks
+	if _, err := Run(w, cfg); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	// More ranks than rows.
+	cfg2 := Config{AtmoRanks: 2, OceanRanks: 1, AtmoNX: 8, AtmoNY: 1, OceanNX: 8, OceanNY: 8, Steps: 1, CoupleEvery: 0}
+	if _, err := Run(w, cfg2); err == nil {
+		t.Error("1 row over 2 ranks accepted")
+	}
+}
+
+func TestSingleRankComponents(t *testing.T) {
+	cfg := Config{
+		AtmoRanks: 1, OceanRanks: 1,
+		AtmoNX: 8, AtmoNY: 6, OceanNX: 8, OceanNY: 6,
+		Steps: 4, CoupleEvery: 2, Diffusivity: 0.5, DT: 0.25,
+	}
+	w := worldOn(t, cluster.Uniform(2, "p", core.MethodConfig{Name: "inproc"}))
+	st, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Exchanges != 2 {
+		t.Errorf("Exchanges = %d", st.Exchanges)
+	}
+}

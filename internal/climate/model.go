@@ -1,0 +1,214 @@
+// Package climate implements a miniature coupled climate model — the
+// analogue of the Millenia coupled model in the paper's case study: a large
+// atmosphere component and a smaller ocean component, each a parallel
+// finite-difference model with frequent internal halo exchange, coupled by an
+// infrequent exchange of surface fields (SST and fluxes) every few
+// atmosphere steps.
+//
+// The communication structure is the point: internal halo exchanges are
+// frequent and ride whatever fast method the partition offers; inter-model
+// exchanges are rare and ride the expensive wide-area method. The numerical
+// content (explicit diffusion with synthetic per-cell physics load) exists to
+// give the communication realistic shape and to provide determinism
+// invariants for tests — identical results regardless of communication
+// method.
+package climate
+
+import (
+	"fmt"
+	"math"
+
+	"nexus/internal/mpi"
+)
+
+// subModel is one component model: a 2D field decomposed by rows across the
+// ranks of a communicator, stepped by explicit diffusion.
+type subModel struct {
+	comm *mpi.Comm
+	nx   int // global columns
+	ny   int // global rows
+	r0   int // first owned row
+	rows int // owned row count
+
+	// field has rows+2 rows: ghost row 0, owned rows 1..rows, ghost rows+1.
+	field [][]float64
+	next  [][]float64
+
+	diffusivity float64
+	dt          float64
+	load        int
+}
+
+// rowsFor computes the block row decomposition: row range owned by rank r of
+// size ranks over ny rows.
+func rowsFor(ny, ranks, r int) (r0, count int) {
+	base := ny / ranks
+	extra := ny % ranks
+	if r < extra {
+		count = base + 1
+		r0 = r * count
+	} else {
+		count = base
+		r0 = extra*(base+1) + (r-extra)*base
+	}
+	return
+}
+
+func newSubModel(comm *mpi.Comm, nx, ny int, diffusivity, dt float64, load int, init func(x, y int) float64) (*subModel, error) {
+	if ny < comm.Size() {
+		return nil, fmt.Errorf("climate: %d rows cannot be split over %d ranks", ny, comm.Size())
+	}
+	m := &subModel{comm: comm, nx: nx, ny: ny, diffusivity: diffusivity, dt: dt, load: load}
+	m.r0, m.rows = rowsFor(ny, comm.Size(), comm.Rank())
+	m.field = make([][]float64, m.rows+2)
+	m.next = make([][]float64, m.rows+2)
+	for i := range m.field {
+		m.field[i] = make([]float64, nx)
+		m.next[i] = make([]float64, nx)
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < nx; j++ {
+			m.field[i+1][j] = init(j, m.r0+i)
+		}
+	}
+	return m, nil
+}
+
+// Halo-exchange tags (per step, alternating parity keeps steps separated).
+const (
+	tagHaloUp   = 11
+	tagHaloDown = 12
+)
+
+// exchangeHalos fills the ghost rows from the neighbouring ranks; at the
+// physical top and bottom the ghost mirrors the edge row (zero-flux
+// boundary, which conserves the field total under diffusion).
+func (m *subModel) exchangeHalos() error {
+	rank, size := m.comm.Rank(), m.comm.Size()
+	up, down := rank-1, rank+1
+
+	// Send own top row up / bottom row down; receive ghosts in return. The
+	// asynchronous sends cannot deadlock, so a simple send-then-receive per
+	// direction suffices.
+	if up >= 0 {
+		if err := m.comm.Send(up, tagHaloUp, wrapFloats(m.field[1])); err != nil {
+			return err
+		}
+	}
+	if down < size {
+		if err := m.comm.Send(down, tagHaloDown, wrapFloats(m.field[m.rows])); err != nil {
+			return err
+		}
+	}
+	if down < size {
+		msg, err := m.comm.Recv(down, tagHaloUp)
+		if err != nil {
+			return err
+		}
+		if err := rowFromBuf(msg, m.field[m.rows+1], m.nx); err != nil {
+			return err
+		}
+	} else {
+		copy(m.field[m.rows+1], m.field[m.rows]) // mirror bottom
+	}
+	if up >= 0 {
+		msg, err := m.comm.Recv(up, tagHaloDown)
+		if err != nil {
+			return err
+		}
+		if err := rowFromBuf(msg, m.field[0], m.nx); err != nil {
+			return err
+		}
+	} else {
+		copy(m.field[0], m.field[1]) // mirror top
+	}
+	return nil
+}
+
+// step advances the model one time step: halo exchange, then an explicit
+// diffusion update with periodic boundaries in x, plus the synthetic physics
+// load.
+func (m *subModel) step() error {
+	if err := m.exchangeHalos(); err != nil {
+		return err
+	}
+	k := m.diffusivity * m.dt
+	for i := 1; i <= m.rows; i++ {
+		cur, nxt := m.field[i], m.next[i]
+		above, below := m.field[i-1], m.field[i+1]
+		for j := 0; j < m.nx; j++ {
+			left := cur[(j-1+m.nx)%m.nx]
+			right := cur[(j+1)%m.nx]
+			lap := left + right + above[j] + below[j] - 4*cur[j]
+			v := cur[j] + k*lap
+			// Synthetic per-cell physics load, calibrated by cfg.Load.
+			for w := 0; w < m.load; w++ {
+				v += math.Sin(v) * 1e-12
+			}
+			nxt[j] = v
+		}
+	}
+	m.field, m.next = m.next, m.field
+	return nil
+}
+
+// localSum returns the sum of the owned cells.
+func (m *subModel) localSum() float64 {
+	s := 0.0
+	for i := 1; i <= m.rows; i++ {
+		for _, v := range m.field[i] {
+			s += v
+		}
+	}
+	return s
+}
+
+// checksum reduces the global field sum onto rank 0 of the component.
+func (m *subModel) checksum() (float64, error) {
+	res, err := m.comm.Reduce(0, []float64{m.localSum()}, mpi.Sum)
+	if err != nil {
+		return 0, err
+	}
+	if m.comm.Rank() == 0 {
+		return res[0], nil
+	}
+	return 0, nil
+}
+
+// surfaceProfile returns the column means of the component's edge region (the
+// bottom rows for the atmosphere, top rows for the ocean), reduced onto rank
+// 0 — the field the components exchange when coupling.
+func (m *subModel) surfaceProfile(fromBottom bool) ([]float64, error) {
+	local := make([]float64, m.nx)
+	var edgeRow int // global index of the edge row
+	if fromBottom {
+		edgeRow = m.ny - 1
+	}
+	if edgeRow >= m.r0 && edgeRow < m.r0+m.rows {
+		i := edgeRow - m.r0 + 1
+		copy(local, m.field[i])
+	}
+	res, err := m.comm.Reduce(0, local, mpi.Sum)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil // non-nil only on rank 0
+}
+
+// applyForcing adds a resampled forcing profile to the component's edge row.
+// Only the rank owning the edge row changes its field; the profile must be
+// present on every rank (broadcast by the caller).
+func (m *subModel) applyForcing(profile []float64, toBottom bool, gain float64) {
+	var edgeRow int
+	if toBottom {
+		edgeRow = m.ny - 1
+	}
+	if edgeRow < m.r0 || edgeRow >= m.r0+m.rows {
+		return
+	}
+	i := edgeRow - m.r0 + 1
+	for j := 0; j < m.nx; j++ {
+		src := j * len(profile) / m.nx // nearest-neighbour resample
+		m.field[i][j] += gain * profile[src]
+	}
+}

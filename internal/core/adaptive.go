@@ -1,0 +1,125 @@
+package core
+
+import (
+	"time"
+
+	"nexus/internal/transport"
+)
+
+// AdaptiveConfig tunes StartAdaptiveSkipPoll.
+type AdaptiveConfig struct {
+	// Interval is how often skip_poll values are re-evaluated (default
+	// 10 ms).
+	Interval time.Duration
+	// MaxSkip caps how far an idle method is throttled (default 1024).
+	MaxSkip int
+	// Grow multiplies an idle method's skip each interval (default 2).
+	Grow int
+	// MinCostRatio exempts cheap methods: a method is only throttled if its
+	// advertised poll cost is at least this multiple of the cheapest
+	// enabled method's (default 4). Cheap methods stay at skip 1, where
+	// they belong.
+	MinCostRatio int
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	if c.MaxSkip < 1 {
+		c.MaxSkip = 1024
+	}
+	if c.Grow < 2 {
+		c.Grow = 2
+	}
+	if c.MinCostRatio < 1 {
+		c.MinCostRatio = 4
+	}
+	return c
+}
+
+// StartAdaptiveSkipPoll launches the paper's §6 future-work refinement:
+// dynamic adjustment of skip_poll values from observed traffic. Every
+// interval, each expensive method that delivered frames since the last check
+// snaps back to skip 1 (traffic is flowing; detection latency matters);
+// methods that stayed idle are throttled geometrically up to MaxSkip (their
+// polls are pure overhead). Cheap methods are left alone.
+//
+// It returns a stop function that blocks until the tuner exits. The tuner
+// only adjusts skip values; it does not poll — pair it with StartPoller or
+// an application polling loop.
+func (c *Context) StartAdaptiveSkipPoll(cfg AdaptiveConfig) (stop func()) {
+	cfg = cfg.withDefaults()
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		lastFrames := make(map[string]uint64)
+		ticker := time.NewTicker(cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			c.adaptOnce(cfg, lastFrames)
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
+}
+
+// adaptOnce performs one adaptation round (exposed for deterministic tests).
+func (c *Context) adaptOnce(cfg AdaptiveConfig, lastFrames map[string]uint64) {
+	cfg = cfg.withDefaults()
+	c.mu.RLock()
+	mods := make([]*moduleState, len(c.modules))
+	copy(mods, c.modules)
+	c.mu.RUnlock()
+
+	// Find the cheapest advertised poll cost to define "expensive".
+	var minCost time.Duration
+	costs := make(map[*moduleState]time.Duration, len(mods))
+	for _, ms := range mods {
+		if h, ok := ms.module.(transport.CostHinter); ok {
+			if cost := h.PollCostHint(); cost > 0 {
+				costs[ms] = cost
+				if minCost == 0 || cost < minCost {
+					minCost = cost
+				}
+			}
+		}
+	}
+	for _, ms := range mods {
+		if ms.blocking {
+			continue
+		}
+		cost, hinted := costs[ms]
+		if !hinted || minCost == 0 || cost < minCost*time.Duration(cfg.MinCostRatio) {
+			continue // cheap method: always polled eagerly
+		}
+		frames := ms.frames.Load()
+		prev := lastFrames[ms.name]
+		lastFrames[ms.name] = frames
+		cur := int(ms.skipAtomic.Load())
+		switch {
+		case frames > prev:
+			// Traffic observed: poll eagerly again.
+			if cur != 1 {
+				_ = c.SetSkipPoll(ms.name, 1)
+			}
+		default:
+			// Idle: back off geometrically.
+			next := cur * cfg.Grow
+			if next > cfg.MaxSkip {
+				next = cfg.MaxSkip
+			}
+			if next != cur {
+				_ = c.SetSkipPoll(ms.name, next)
+			}
+		}
+	}
+}

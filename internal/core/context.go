@@ -1,0 +1,522 @@
+// Package core implements the multimethod communication architecture of the
+// paper: contexts, communication links (startpoint → endpoint), remote
+// service requests, communication descriptor tables, automatic and manual
+// method selection, multimethod polling with skip_poll, and forwarding.
+//
+// A Context is an address space (the paper's "virtual processor"). It hosts
+// endpoints, a handler table, a set of communication modules in preference
+// order, and the machinery that detects and dispatches incoming RSRs across
+// all of those modules.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"nexus/internal/buffer"
+	"nexus/internal/metrics"
+	"nexus/internal/transport"
+	"nexus/internal/wire"
+)
+
+// Errors returned by core operations.
+var (
+	// ErrClosed reports use of a closed context.
+	ErrClosed = errors.New("core: context closed")
+	// ErrNoApplicableMethod reports that no method in a startpoint's
+	// descriptor table is applicable from the sending context.
+	ErrNoApplicableMethod = errors.New("core: no applicable communication method")
+	// ErrNoTable reports a lightweight startpoint whose target context has
+	// no registered peer table.
+	ErrNoTable = errors.New("core: no descriptor table for target context")
+	// ErrUnknownHandler reports an RSR naming a handler the destination
+	// context has not registered.
+	ErrUnknownHandler = errors.New("core: unknown handler")
+	// ErrUnknownEndpoint reports an RSR addressed to a destroyed or unknown
+	// endpoint.
+	ErrUnknownEndpoint = errors.New("core: unknown endpoint")
+	// ErrUnknownMethod reports a manual selection of a method the context
+	// has not enabled.
+	ErrUnknownMethod = errors.New("core: method not enabled in this context")
+)
+
+// HandlerFunc is the code invoked by an incoming remote service request. The
+// endpoint is the link's receiving end (carrying any bound local data); the
+// buffer holds the sender's packed arguments.
+type HandlerFunc func(ep *Endpoint, b *buffer.Buffer)
+
+// MethodConfig enables one communication method in a context.
+type MethodConfig struct {
+	// Name is the registered module name ("tcp", "inproc", "mpl", ...).
+	Name string
+	// Params configures the module instance.
+	Params transport.Params
+	// SkipPoll polls this method only every k-th pass (default 1: every
+	// pass). This is the paper's skip_poll parameter.
+	SkipPoll int
+	// Blocking starts the module in blocking-detection mode if it supports
+	// it (transport.Blocker); the polling loop then skips it.
+	Blocking bool
+}
+
+// Options configures a new context.
+type Options struct {
+	// ID is the context identity; 0 assigns the next process-wide id.
+	ID transport.ContextID
+	// Process identifies the hosting OS process (defaults to "p<pid>").
+	Process string
+	// Partition names the context's partition, for partition-scoped methods.
+	Partition string
+	// Registry resolves method names (defaults to transport.Default).
+	Registry *transport.Registry
+	// Methods lists the enabled methods in descriptor-table preference
+	// order. The "local" method is always enabled and listed first.
+	Methods []MethodConfig
+	// Threaded runs each incoming RSR handler in its own goroutine (the
+	// Nexus threaded-handler model). Default: handlers run inline on the
+	// goroutine that detected the message.
+	Threaded bool
+	// Selector chooses among applicable methods (default FirstApplicable).
+	Selector Selector
+	// PollOnRSR performs an opportunistic poll pass on every RSR send,
+	// mirroring "the polling function will be called at least every time a
+	// Nexus operation is performed". Default true; set DisablePollOnRSR to
+	// turn it off.
+	DisablePollOnRSR bool
+	// ErrorLog receives asynchronous delivery errors (unknown handler,
+	// undeliverable forward). Defaults to counting them silently.
+	ErrorLog func(error)
+}
+
+var nextContextID atomic.Uint64
+
+// Context is an address space participating in multimethod communication.
+type Context struct {
+	id        transport.ContextID
+	process   string
+	partition string
+	threaded  bool
+	selector  Selector
+	pollOnRSR bool
+	errlog    func(error)
+	stats     *metrics.Set
+
+	mu         sync.RWMutex
+	modules    []*moduleState
+	byMethod   map[string]*moduleState
+	advertised *transport.Table
+	endpoints  map[uint64]*Endpoint
+	nextEP     uint64
+	handlers   map[string]HandlerFunc
+	conns      map[connKey]*sharedConn
+	peerTables map[transport.ContextID]*transport.Table
+	forwarder  bool
+	closed     bool
+
+	pollMu   sync.Mutex
+	pollPass uint64 // guarded by pollMu
+}
+
+type moduleState struct {
+	name     string
+	module   transport.Module
+	desc     *transport.Descriptor
+	blocking bool
+
+	// skip and countdown implement skip_poll; both are guarded by the
+	// context's pollMu except for reads through the atomic skipAtomic.
+	skip       int
+	countdown  int
+	skipAtomic atomic.Int64
+
+	polls  *metrics.Counter
+	frames *metrics.Counter
+}
+
+// NewContext creates a context and initializes its communication modules.
+func NewContext(opts Options) (*Context, error) {
+	id := opts.ID
+	if id == 0 {
+		id = transport.ContextID(nextContextID.Add(1))
+	}
+	proc := opts.Process
+	if proc == "" {
+		proc = fmt.Sprintf("p%d", os.Getpid())
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = transport.Default
+	}
+	sel := opts.Selector
+	if sel == nil {
+		sel = FirstApplicable
+	}
+	c := &Context{
+		id:         id,
+		process:    proc,
+		partition:  opts.Partition,
+		threaded:   opts.Threaded,
+		selector:   sel,
+		pollOnRSR:  !opts.DisablePollOnRSR,
+		stats:      metrics.NewSet(),
+		byMethod:   make(map[string]*moduleState),
+		endpoints:  make(map[uint64]*Endpoint),
+		handlers:   make(map[string]HandlerFunc),
+		conns:      make(map[connKey]*sharedConn),
+		peerTables: make(map[transport.ContextID]*transport.Table),
+		advertised: transport.NewTable(),
+	}
+	c.errlog = opts.ErrorLog
+	if c.errlog == nil {
+		dropped := c.stats.Counter("errors.dropped")
+		c.errlog = func(error) { dropped.Inc() }
+	}
+
+	configs := opts.Methods
+	if !hasMethod(configs, "local") {
+		configs = append([]MethodConfig{{Name: "local"}}, configs...)
+	}
+	for _, mc := range configs {
+		if err := c.enableMethod(reg, mc); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func hasMethod(configs []MethodConfig, name string) bool {
+	for _, mc := range configs {
+		if mc.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Context) enableMethod(reg *transport.Registry, mc MethodConfig) error {
+	if mc.SkipPoll < 1 {
+		mc.SkipPoll = 1
+	}
+	mod, err := reg.New(mc.Name, mc.Params)
+	if err != nil {
+		return err
+	}
+	ms := &moduleState{
+		name:   mc.Name,
+		module: mod,
+		skip:   mc.SkipPoll,
+		polls:  c.stats.Counter("poll." + mc.Name),
+		frames: c.stats.Counter("frames." + mc.Name),
+	}
+	ms.skipAtomic.Store(int64(mc.SkipPoll))
+	desc, err := mod.Init(transport.Env{
+		Context:   c.id,
+		Process:   c.process,
+		Partition: c.partition,
+		Params:    mc.Params,
+		Sink:      &methodSink{ctx: c, ms: ms},
+	})
+	if err != nil {
+		return fmt.Errorf("core: enabling method %q: %w", mc.Name, err)
+	}
+	ms.desc = desc
+	if mc.Blocking {
+		b, ok := mod.(transport.Blocker)
+		if !ok {
+			mod.Close()
+			return fmt.Errorf("core: method %q does not support blocking detection", mc.Name)
+		}
+		if err := b.StartBlocking(); err != nil {
+			mod.Close()
+			return fmt.Errorf("core: starting blocking detection for %q: %w", mc.Name, err)
+		}
+		ms.blocking = true
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byMethod[mc.Name]; dup {
+		mod.Close()
+		return fmt.Errorf("core: method %q enabled twice", mc.Name)
+	}
+	c.modules = append(c.modules, ms)
+	c.byMethod[mc.Name] = ms
+	if desc != nil {
+		c.advertised.Add(*desc)
+	}
+	return nil
+}
+
+// methodSink tags inbound frames with the module that delivered them, for
+// per-method statistics, before handing them to the context dispatcher.
+type methodSink struct {
+	ctx *Context
+	ms  *moduleState
+}
+
+func (s *methodSink) Deliver(frame []byte) {
+	s.ms.frames.Inc()
+	s.ctx.dispatch(frame)
+}
+
+// ID reports the context identity.
+func (c *Context) ID() transport.ContextID { return c.id }
+
+// Process reports the hosting process identity.
+func (c *Context) Process() string { return c.process }
+
+// Partition reports the context's partition.
+func (c *Context) Partition() string { return c.partition }
+
+// Stats exposes the context's enquiry counters.
+func (c *Context) Stats() *metrics.Set { return c.stats }
+
+// AdvertisedTable returns a copy of the context's communication descriptor
+// table — the table every startpoint created here carries.
+func (c *Context) AdvertisedTable() *transport.Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.advertised.Clone()
+}
+
+// SetAdvertisedTable replaces the context's descriptor table. Used by
+// forwarding setups to advertise a forwarder's address in place of the
+// context's own, and by users exercising manual method control.
+func (c *Context) SetAdvertisedTable(t *transport.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advertised = t.Clone()
+}
+
+// RegisterHandler installs a handler under the given name. Incoming RSRs
+// name the handler to invoke.
+func (c *Context) RegisterHandler(name string, fn HandlerFunc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handlers[name] = fn
+}
+
+// UnregisterHandler removes a named handler.
+func (c *Context) UnregisterHandler(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.handlers, name)
+}
+
+// RegisterPeerTable records another context's descriptor table, used to
+// resolve lightweight startpoints (which travel without tables) and to route
+// forwarded frames.
+func (c *Context) RegisterPeerTable(t *transport.Table) {
+	if t.Len() == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peerTables[t.Entries[0].Context] = t.Clone()
+}
+
+// PeerTable returns the registered table for a context, or nil.
+func (c *Context) PeerTable(id transport.ContextID) *transport.Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if t, ok := c.peerTables[id]; ok {
+		return t.Clone()
+	}
+	return nil
+}
+
+// dispatch decodes an inbound frame and routes it to a handler (or onward,
+// if this context is a forwarder).
+func (c *Context) dispatch(frame []byte) {
+	f, err := wire.Decode(frame)
+	if err != nil {
+		c.errlog(fmt.Errorf("core: context %d: bad frame: %w", c.id, err))
+		return
+	}
+	if f.DestContext != uint64(c.id) {
+		c.forward(f, frame)
+		return
+	}
+	c.stats.Counter("rsr.recv").Inc()
+	c.stats.Counter("bytes.recv").Add(uint64(len(frame)))
+
+	c.mu.RLock()
+	ep := c.endpoints[f.DestEndpoint]
+	var fn HandlerFunc
+	if f.Handler != "" {
+		fn = c.handlers[f.Handler]
+	}
+	c.mu.RUnlock()
+
+	if ep == nil {
+		c.errlog(fmt.Errorf("core: context %d: endpoint %d: %w", c.id, f.DestEndpoint, ErrUnknownEndpoint))
+		return
+	}
+	if fn == nil {
+		fn = ep.handler
+	}
+	if fn == nil {
+		c.errlog(fmt.Errorf("core: context %d: handler %q: %w", c.id, f.Handler, ErrUnknownHandler))
+		return
+	}
+	b, err := buffer.FromBytes(f.Payload)
+	if err != nil {
+		c.errlog(fmt.Errorf("core: context %d: bad payload: %w", c.id, err))
+		return
+	}
+	if c.threaded {
+		go fn(ep, b)
+	} else {
+		fn(ep, b)
+	}
+}
+
+// Closed reports whether the context has been closed.
+func (c *Context) Closed() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.closed
+}
+
+// Close shuts down every module and connection. Endpoints become invalid.
+func (c *Context) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	mods := c.modules
+	conns := c.conns
+	c.conns = make(map[connKey]*sharedConn)
+	c.mu.Unlock()
+
+	var errs []string
+	for _, sc := range conns {
+		if err := sc.conn.Close(); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	for _, ms := range mods {
+		if err := ms.module.Close(); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("core: closing context %d: %s", c.id, strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// connKey identifies a shareable communication object: same method, same
+// remote context, same descriptor attributes.
+type connKey struct {
+	method string
+	ctx    transport.ContextID
+	attrs  string
+}
+
+func keyFor(d transport.Descriptor) connKey {
+	if len(d.Attrs) == 0 {
+		return connKey{method: d.Method, ctx: d.Context}
+	}
+	keys := make([]string, 0, len(d.Attrs))
+	for k := range d.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(d.Attrs[k])
+		sb.WriteByte(';')
+	}
+	return connKey{method: d.Method, ctx: d.Context, attrs: sb.String()}
+}
+
+// sharedConn is a reference-counted communication object shared among
+// startpoints that reference the same context with the same method.
+type sharedConn struct {
+	key  connKey
+	conn transport.Conn
+	refs int // guarded by the owning context's mu
+}
+
+// acquireConn returns a shared communication object for the descriptor,
+// dialing one if none exists.
+func (c *Context) acquireConn(d transport.Descriptor) (*sharedConn, error) {
+	key := keyFor(d)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if sc, ok := c.conns[key]; ok {
+		sc.refs++
+		c.mu.Unlock()
+		return sc, nil
+	}
+	ms := c.byMethod[d.Method]
+	c.mu.Unlock()
+	if ms == nil {
+		return nil, fmt.Errorf("core: %w: %q", ErrUnknownMethod, d.Method)
+	}
+	conn, err := ms.module.Dial(d)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if sc, ok := c.conns[key]; ok { // lost the race; share the winner
+		conn.Close()
+		sc.refs++
+		return sc, nil
+	}
+	sc := &sharedConn{key: key, conn: conn, refs: 1}
+	c.conns[key] = sc
+	return sc, nil
+}
+
+// releaseConn drops one reference, closing the connection when unused.
+func (c *Context) releaseConn(sc *sharedConn) {
+	if sc == nil {
+		return
+	}
+	c.mu.Lock()
+	sc.refs--
+	var toClose transport.Conn
+	if sc.refs <= 0 {
+		delete(c.conns, sc.key)
+		toClose = sc.conn
+	}
+	c.mu.Unlock()
+	if toClose != nil {
+		toClose.Close()
+	}
+}
+
+// moduleFor returns the module state for a method name.
+func (c *Context) moduleFor(name string) *moduleState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.byMethod[name]
+}
+
+// openConns reports the number of live shared communication objects
+// (an enquiry hook used by tests and diagnostics).
+func (c *Context) openConns() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.conns)
+}

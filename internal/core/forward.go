@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"nexus/internal/transport"
+	"nexus/internal/wire"
+)
+
+// EnableForwarding turns the context into a forwarding processor: frames that
+// arrive addressed to other contexts are re-sent toward their destination
+// using the first applicable method from the destination's registered peer
+// table (RegisterPeerTable). This is the paper's alternative to multimethod
+// polling: one node receives all traffic for an expensive method and relays
+// it over the cheap one, so the other nodes never poll the expensive method
+// at all.
+func (c *Context) EnableForwarding() {
+	c.mu.Lock()
+	c.forwarder = true
+	c.mu.Unlock()
+}
+
+// ForwardingEnabled reports whether this context relays misaddressed frames.
+func (c *Context) ForwardingEnabled() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.forwarder
+}
+
+// forward relays a frame addressed to another context. The frame is re-sent
+// byte-for-byte: the wire header already carries the ultimate destination,
+// so no rewrapping is needed.
+func (c *Context) forward(f *wire.Frame, raw []byte) {
+	c.mu.RLock()
+	enabled := c.forwarder
+	c.mu.RUnlock()
+	if !enabled {
+		c.errlog(fmt.Errorf("core: context %d: frame for context %d dropped (forwarding disabled)",
+			c.id, f.DestContext))
+		c.stats.Counter("forward.dropped").Inc()
+		return
+	}
+	dest := transport.ContextID(f.DestContext)
+	table := c.PeerTable(dest)
+	if table == nil {
+		c.errlog(fmt.Errorf("core: forwarder %d: no route to context %d: %w", c.id, dest, ErrNoTable))
+		c.stats.Counter("forward.dropped").Inc()
+		return
+	}
+	desc, err := c.selector(c, table)
+	if err != nil {
+		c.errlog(fmt.Errorf("core: forwarder %d: selecting route to context %d: %w", c.id, dest, err))
+		c.stats.Counter("forward.dropped").Inc()
+		return
+	}
+	sc, err := c.acquireConn(desc)
+	if err != nil {
+		c.errlog(fmt.Errorf("core: forwarder %d: dialing %s to context %d: %w", c.id, desc.Method, dest, err))
+		c.stats.Counter("forward.dropped").Inc()
+		return
+	}
+	// The forwarder keeps its route connections open: the acquired reference
+	// is intentionally retained (released when the context closes).
+	if err := sc.conn.Send(raw); err != nil {
+		c.errlog(fmt.Errorf("core: forwarder %d: relaying to context %d via %s: %w", c.id, dest, desc.Method, err))
+		c.stats.Counter("forward.dropped").Inc()
+		c.releaseConn(sc)
+		return
+	}
+	c.stats.Counter("forward.relayed").Inc()
+}
+
+// RewriteForForwarder edits a descriptor table so that the given method's
+// entry points at the forwarder's address instead of the context's own: any
+// sender using that method then reaches the forwarder, which relays inward.
+// The entry's Context field is preserved — it still names the final
+// destination; only the reachability attributes change. Returns false if the
+// table has no entry for the method.
+func RewriteForForwarder(t *transport.Table, method string, forwarder transport.Descriptor) bool {
+	found := false
+	for i, e := range t.Entries {
+		if e.Method != method {
+			continue
+		}
+		ne := forwarder.Clone()
+		ne.Method = method
+		ne.Context = e.Context
+		t.Entries[i] = ne
+		found = true
+	}
+	return found
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"nexus/internal/transport"
+)
+
+// Poll performs one pass of the unified polling function: it iterates over
+// the context's communication modules in order and invokes each module's
+// method-specific poll — except modules in blocking mode (detected by their
+// own goroutines) and modules whose skip_poll countdown has not expired. It
+// returns the number of frames delivered.
+//
+// skip_poll semantics follow the paper: with skip_poll k, the module is
+// checked on every k-th pass, so an expensive, infrequently used method
+// (TCP) taxes a cheap, frequently used one (MPL/inproc) only 1/k of the
+// time.
+func (c *Context) Poll() int {
+	c.pollMu.Lock()
+	defer c.pollMu.Unlock()
+	return c.pollPassLocked()
+}
+
+// tryPoll performs a pass only if no other poll is in progress; used for the
+// opportunistic poll on each RSR so sends never block behind a concurrent
+// poller.
+func (c *Context) tryPoll() int {
+	if !c.pollMu.TryLock() {
+		return 0
+	}
+	defer c.pollMu.Unlock()
+	return c.pollPassLocked()
+}
+
+func (c *Context) pollPassLocked() int {
+	c.mu.RLock()
+	mods := c.modules
+	closed := c.closed
+	c.mu.RUnlock()
+	if closed {
+		return 0
+	}
+	c.pollPass++
+	c.stats.Counter("poll.passes").Inc()
+	total := 0
+	for _, ms := range mods {
+		if ms.blocking {
+			continue
+		}
+		if ms.countdown > 0 {
+			ms.countdown--
+			continue
+		}
+		ms.countdown = ms.skip - 1
+		ms.polls.Inc()
+		n, err := ms.module.Poll()
+		if err != nil {
+			c.errlog(fmt.Errorf("core: context %d: polling %s: %w", c.id, ms.name, err))
+			continue
+		}
+		total += n
+	}
+	return total
+}
+
+// PollUntil polls until pred returns true or the timeout elapses, yielding
+// the processor between empty passes. It reports whether pred held.
+func (c *Context) PollUntil(pred func() bool, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if pred() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		if c.Poll() == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// SetSkipPoll sets the skip_poll parameter for one method: the method is
+// polled on every k-th pass. k < 1 is treated as 1.
+func (c *Context) SetSkipPoll(method string, k int) error {
+	if k < 1 {
+		k = 1
+	}
+	ms := c.moduleFor(method)
+	if ms == nil {
+		return fmt.Errorf("core: %w: %q", ErrUnknownMethod, method)
+	}
+	c.pollMu.Lock()
+	ms.skip = k
+	if ms.countdown >= k {
+		ms.countdown = k - 1
+	}
+	c.pollMu.Unlock()
+	ms.skipAtomic.Store(int64(k))
+	return nil
+}
+
+// SkipPoll reports the current skip_poll value for a method (0 if unknown).
+func (c *Context) SkipPoll(method string) int {
+	ms := c.moduleFor(method)
+	if ms == nil {
+		return 0
+	}
+	return int(ms.skipAtomic.Load())
+}
+
+// AutoSkipPoll derives skip_poll values from the modules' advertised poll
+// costs: the cheapest method keeps skip 1 and each other method is skipped
+// in proportion to how much more its poll costs — the paper's "adaptive
+// adjustment of skip_poll values" future-work refinement in its simplest
+// static form.
+func (c *Context) AutoSkipPoll() {
+	c.mu.RLock()
+	mods := c.modules
+	c.mu.RUnlock()
+	minCost := time.Duration(0)
+	costs := make(map[*moduleState]time.Duration, len(mods))
+	for _, ms := range mods {
+		h, ok := ms.module.(transport.CostHinter)
+		if !ok {
+			continue
+		}
+		cost := h.PollCostHint()
+		if cost <= 0 {
+			continue
+		}
+		costs[ms] = cost
+		if minCost == 0 || cost < minCost {
+			minCost = cost
+		}
+	}
+	if minCost == 0 {
+		return
+	}
+	for ms, cost := range costs {
+		k := int(cost / minCost)
+		if k < 1 {
+			k = 1
+		}
+		_ = c.SetSkipPoll(ms.name, k)
+	}
+}
+
+// StartBlocking switches a method to blocking detection (a dedicated
+// goroutine instead of polling), if its module supports it.
+func (c *Context) StartBlocking(method string) error {
+	ms := c.moduleFor(method)
+	if ms == nil {
+		return fmt.Errorf("core: %w: %q", ErrUnknownMethod, method)
+	}
+	b, ok := ms.module.(transport.Blocker)
+	if !ok {
+		return fmt.Errorf("core: method %q does not support blocking detection", method)
+	}
+	if err := b.StartBlocking(); err != nil {
+		return err
+	}
+	c.pollMu.Lock()
+	ms.blocking = true
+	c.pollMu.Unlock()
+	return nil
+}
+
+// StartPoller launches a background goroutine that polls continuously,
+// sleeping idle for the given duration between empty passes (0 means yield
+// only). It returns a stop function that blocks until the poller exits.
+func (c *Context) StartPoller(idle time.Duration) (stop func()) {
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if c.Poll() == 0 {
+				if idle > 0 {
+					time.Sleep(idle)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
+}
+
+// DisableMethod shuts one communication method down at runtime: its module
+// is closed, its descriptor leaves the advertised table, and the polling
+// loop skips it. Existing connections over the method fail on their next
+// send, which is what triggers startpoint failover (SetFailover) — the
+// paper's "switch among alternative communication substrates in the event of
+// error".
+func (c *Context) DisableMethod(method string) error {
+	c.mu.Lock()
+	ms := c.byMethod[method]
+	if ms == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("core: %w: %q", ErrUnknownMethod, method)
+	}
+	delete(c.byMethod, method)
+	kept := c.modules[:0]
+	for _, m := range c.modules {
+		if m != ms {
+			kept = append(kept, m)
+		}
+	}
+	c.modules = kept
+	c.advertised.Remove(method)
+	// Drop shared connections over the method so subsequent sends reselect.
+	var toClose []transport.Conn
+	for key, sc := range c.conns {
+		if key.method == method {
+			toClose = append(toClose, sc.conn)
+			delete(c.conns, key)
+		}
+	}
+	c.mu.Unlock()
+	for _, conn := range toClose {
+		conn.Close()
+	}
+	return ms.module.Close()
+}
+
+// MethodInfo is the enquiry record for one enabled method.
+type MethodInfo struct {
+	// Name is the method name.
+	Name string
+	// Descriptor advertises this context's reachability by the method (nil
+	// for send-only methods).
+	Descriptor *transport.Descriptor
+	// SkipPoll is the current skip_poll value.
+	SkipPoll int
+	// Blocking reports whether the method uses blocking detection.
+	Blocking bool
+	// Polls is the number of module polls performed so far.
+	Polls uint64
+	// Frames is the number of inbound frames the method has delivered.
+	Frames uint64
+	// PollCostHint is the module's advertised per-poll cost (0 if unknown).
+	PollCostHint time.Duration
+}
+
+// Methods returns enquiry records for every enabled method, in preference
+// order. This is the paper's enquiry interface: programs inspect it to
+// evaluate automatic selection or tune manual choices.
+func (c *Context) Methods() []MethodInfo {
+	c.mu.RLock()
+	mods := make([]*moduleState, len(c.modules))
+	copy(mods, c.modules)
+	c.mu.RUnlock()
+	out := make([]MethodInfo, 0, len(mods))
+	c.pollMu.Lock()
+	defer c.pollMu.Unlock()
+	for _, ms := range mods {
+		mi := MethodInfo{
+			Name:     ms.name,
+			SkipPoll: ms.skip,
+			Blocking: ms.blocking,
+			Polls:    ms.polls.Load(),
+			Frames:   ms.frames.Load(),
+		}
+		if ms.desc != nil {
+			d := ms.desc.Clone()
+			mi.Descriptor = &d
+		}
+		if h, ok := ms.module.(transport.CostHinter); ok {
+			mi.PollCostHint = h.PollCostHint()
+		}
+		out = append(out, mi)
+	}
+	return out
+}

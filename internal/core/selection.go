@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nexus/internal/transport"
+)
+
+// Selector chooses a communication method for a link given the target's
+// descriptor table. Selection policies see the table in its current order, so
+// user reordering (Promote, Reorder, Remove) composes with any policy.
+type Selector func(c *Context, table *transport.Table) (transport.Descriptor, error)
+
+// FirstApplicable is the paper's automatic selection rule: scan the
+// descriptor table in order and use the first method that is enabled locally
+// and whose module reports the descriptor applicable. With tables ordered
+// fastest-first, this is the "fastest first" policy.
+func FirstApplicable(c *Context, table *transport.Table) (transport.Descriptor, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, d := range table.Entries {
+		ms, ok := c.byMethod[d.Method]
+		if !ok {
+			continue
+		}
+		if ms.module.Applicable(d) {
+			return d.Clone(), nil
+		}
+	}
+	return transport.Descriptor{}, fmt.Errorf("%w (table %v, local methods %v)",
+		ErrNoApplicableMethod, table, methodNamesLocked(c))
+}
+
+// PreferOrder returns a selector that tries the named methods first, in the
+// given order, before falling back to table order — a programmer-directed
+// policy that coexists with automatic selection, as §2.1 requires.
+func PreferOrder(methods ...string) Selector {
+	return func(c *Context, table *transport.Table) (transport.Descriptor, error) {
+		c.mu.RLock()
+		for _, name := range methods {
+			ms, ok := c.byMethod[name]
+			if !ok {
+				continue
+			}
+			if d, found := table.Find(name); found && ms.module.Applicable(d) {
+				c.mu.RUnlock()
+				return d.Clone(), nil
+			}
+		}
+		c.mu.RUnlock()
+		return FirstApplicable(c, table)
+	}
+}
+
+// CheapestPoll selects, among applicable methods, the one whose module
+// advertises the lowest poll cost, breaking ties by table order. It is the
+// QoS-flavoured automatic policy the paper sketches as future work: selection
+// driven by measured properties rather than static ordering.
+func CheapestPoll(c *Context, table *transport.Table) (transport.Descriptor, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	best := -1
+	bestCost := time.Duration(1<<63 - 1)
+	for i, d := range table.Entries {
+		ms, ok := c.byMethod[d.Method]
+		if !ok || !ms.module.Applicable(d) {
+			continue
+		}
+		cost := time.Duration(0)
+		if h, ok := ms.module.(transport.CostHinter); ok {
+			cost = h.PollCostHint()
+		}
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	if best < 0 {
+		return transport.Descriptor{}, fmt.Errorf("%w (table %v, local methods %v)",
+			ErrNoApplicableMethod, table, methodNamesLocked(c))
+	}
+	return table.Entries[best].Clone(), nil
+}
+
+func methodNamesLocked(c *Context) []string {
+	names := make([]string, 0, len(c.modules))
+	for _, ms := range c.modules {
+		names = append(names, ms.name)
+	}
+	return names
+}

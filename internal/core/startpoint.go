@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"nexus/internal/buffer"
+	"nexus/internal/transport"
+	"nexus/internal/wire"
+)
+
+// Startpoint is the sending end of one or more communication links. A
+// startpoint bound to several endpoints multicasts; several startpoints bound
+// to one endpoint merge their traffic there. Startpoints are copyable: Encode
+// packs a startpoint (with its descriptor tables) into a buffer so it can
+// travel inside an RSR, and DecodeStartpoint rebuilds it in the receiving
+// context, where method selection runs afresh against the local modules.
+type Startpoint struct {
+	owner *Context
+
+	mu       sync.Mutex
+	targets  []*target
+	failover bool
+}
+
+// target is one communication link: a remote (or local) endpoint plus the
+// method state used to reach it.
+type target struct {
+	context  transport.ContextID
+	endpoint uint64
+	table    *transport.Table // nil for lightweight startpoints
+	method   string
+	conn     *sharedConn
+}
+
+// Targets reports the (context, endpoint) pairs this startpoint is linked to.
+func (sp *Startpoint) Targets() []struct {
+	Context  transport.ContextID
+	Endpoint uint64
+} {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	out := make([]struct {
+		Context  transport.ContextID
+		Endpoint uint64
+	}, len(sp.targets))
+	for i, t := range sp.targets {
+		out[i].Context = t.context
+		out[i].Endpoint = t.endpoint
+	}
+	return out
+}
+
+// Owner returns the context the startpoint currently lives in.
+func (sp *Startpoint) Owner() *Context { return sp.owner }
+
+// SetFailover enables automatic re-selection: if a send fails, the startpoint
+// removes the failed method from its table and retries with the next
+// applicable one (the paper's "switch among alternative communication
+// substrates in the event of error").
+func (sp *Startpoint) SetFailover(on bool) {
+	sp.mu.Lock()
+	sp.failover = on
+	sp.mu.Unlock()
+}
+
+// Merge adds the links of other startpoints to this one, turning it into a
+// multicast startpoint. Duplicate links are ignored.
+func (sp *Startpoint) Merge(others ...*Startpoint) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for _, o := range others {
+		o.mu.Lock()
+		for _, t := range o.targets {
+			if sp.hasTargetLocked(t.context, t.endpoint) {
+				continue
+			}
+			nt := &target{context: t.context, endpoint: t.endpoint}
+			if t.table != nil {
+				nt.table = t.table.Clone()
+			}
+			sp.targets = append(sp.targets, nt)
+		}
+		o.mu.Unlock()
+	}
+}
+
+func (sp *Startpoint) hasTargetLocked(ctx transport.ContextID, ep uint64) bool {
+	for _, t := range sp.targets {
+		if t.context == ctx && t.endpoint == ep {
+			return true
+		}
+	}
+	return false
+}
+
+// Table returns the descriptor table for the startpoint's single target
+// (panics on multicast startpoints — address those per target via TableFor).
+// The returned table is live: reordering it changes subsequent automatic
+// selection, which is the paper's manual-control mechanism.
+func (sp *Startpoint) Table() *transport.Table {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if len(sp.targets) != 1 {
+		panic("core: Table on multi-target startpoint; use TableFor")
+	}
+	return sp.targets[0].table
+}
+
+// TableFor returns the live descriptor table for the link to the given
+// context, or nil if no such link (or no table) exists.
+func (sp *Startpoint) TableFor(ctx transport.ContextID) *transport.Table {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for _, t := range sp.targets {
+		if t.context == ctx {
+			return t.table
+		}
+	}
+	return nil
+}
+
+// Method reports the currently selected method for the single-target
+// startpoint ("" if selection has not happened yet).
+func (sp *Startpoint) Method() string {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if len(sp.targets) == 0 {
+		return ""
+	}
+	return sp.targets[0].method
+}
+
+// SetMethod manually selects the communication method for every link of the
+// startpoint, overriding automatic selection. The method must appear in each
+// link's descriptor table and be applicable from the owning context.
+func (sp *Startpoint) SetMethod(name string) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for _, t := range sp.targets {
+		table, err := sp.tableFor(t)
+		if err != nil {
+			return err
+		}
+		desc, ok := table.Find(name)
+		if !ok {
+			return fmt.Errorf("core: method %q not in descriptor table for context %d", name, t.context)
+		}
+		ms := sp.owner.moduleFor(name)
+		if ms == nil {
+			return fmt.Errorf("core: %w: %q", ErrUnknownMethod, name)
+		}
+		if !ms.module.Applicable(desc) {
+			return fmt.Errorf("core: method %q not applicable to context %d: %w", name, t.context, ErrNoApplicableMethod)
+		}
+		if err := sp.bindTarget(t, name, desc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SelectMethod runs automatic selection now (it otherwise runs lazily on the
+// first RSR), returning the method chosen for the first link.
+func (sp *Startpoint) SelectMethod() (string, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for _, t := range sp.targets {
+		if t.conn != nil {
+			continue
+		}
+		if err := sp.selectTarget(t); err != nil {
+			return "", err
+		}
+	}
+	if len(sp.targets) == 0 {
+		return "", fmt.Errorf("core: startpoint has no links")
+	}
+	return sp.targets[0].method, nil
+}
+
+// tableFor resolves a target's descriptor table, falling back to the owning
+// context's registered peer tables for lightweight startpoints.
+func (sp *Startpoint) tableFor(t *target) (*transport.Table, error) {
+	if t.table != nil {
+		return t.table, nil
+	}
+	if pt := sp.owner.PeerTable(t.context); pt != nil {
+		t.table = pt
+		return pt, nil
+	}
+	return nil, fmt.Errorf("core: context %d: %w", t.context, ErrNoTable)
+}
+
+// selectTarget runs the context's selection policy for one link and binds
+// the resulting communication object. Caller holds sp.mu.
+func (sp *Startpoint) selectTarget(t *target) error {
+	table, err := sp.tableFor(t)
+	if err != nil {
+		return err
+	}
+	desc, err := sp.owner.selector(sp.owner, table)
+	if err != nil {
+		return err
+	}
+	return sp.bindTarget(t, desc.Method, desc)
+}
+
+// bindTarget points the link at a (possibly new) communication object.
+// Caller holds sp.mu.
+func (sp *Startpoint) bindTarget(t *target, method string, desc transport.Descriptor) error {
+	if t.conn != nil && t.method == method {
+		return nil
+	}
+	sc, err := sp.owner.acquireConn(desc)
+	if err != nil {
+		return err
+	}
+	if t.conn != nil {
+		sp.owner.releaseConn(t.conn)
+	}
+	t.conn = sc
+	t.method = method
+	return nil
+}
+
+// RSR performs an asynchronous remote service request on every link of the
+// startpoint: the buffer travels to each linked endpoint's context, where the
+// named handler is invoked with (endpoint, buffer). RSR returns when the
+// frames have been handed to the selected communication methods; it does not
+// wait for remote execution.
+func (sp *Startpoint) RSR(handler string, b *buffer.Buffer) error {
+	var payload []byte
+	if b != nil {
+		payload = b.Encode()
+	} else {
+		payload = buffer.New(0).Encode()
+	}
+	err := sp.send(handler, payload)
+	if err != nil {
+		return err
+	}
+	if sp.owner.pollOnRSR {
+		sp.owner.tryPoll()
+	}
+	return nil
+}
+
+func (sp *Startpoint) send(handler string, payload []byte) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if len(sp.targets) == 0 {
+		return fmt.Errorf("core: RSR on unbound startpoint")
+	}
+	sent := sp.owner.stats.Counter("rsr.sent")
+	bytesSent := sp.owner.stats.Counter("bytes.sent")
+	for _, t := range sp.targets {
+		if t.conn == nil {
+			if err := sp.selectTarget(t); err != nil {
+				return err
+			}
+		}
+		f := wire.Frame{
+			Type:         wire.TypeRSR,
+			DestContext:  uint64(t.context),
+			DestEndpoint: t.endpoint,
+			SrcContext:   uint64(sp.owner.id),
+			Handler:      handler,
+			Payload:      payload,
+		}
+		enc := f.Encode()
+		if err := t.conn.conn.Send(enc); err != nil {
+			if !sp.failover {
+				return fmt.Errorf("core: RSR via %s to context %d: %w", t.method, t.context, err)
+			}
+			if err := sp.failoverTarget(t, enc, err); err != nil {
+				return err
+			}
+		}
+		sent.Inc()
+		bytesSent.Add(uint64(len(enc)))
+	}
+	return nil
+}
+
+// failoverTarget drops the failed method from the link's table, reselects,
+// and retries until the frame is sent or no method remains. Caller holds
+// sp.mu.
+func (sp *Startpoint) failoverTarget(t *target, enc []byte, firstErr error) error {
+	lastErr := firstErr
+	for {
+		table, err := sp.tableFor(t)
+		if err != nil {
+			return err
+		}
+		if !table.Remove(t.method) {
+			return fmt.Errorf("core: failover from %s: method missing from table: %w", t.method, lastErr)
+		}
+		sp.owner.releaseConn(t.conn)
+		t.conn = nil
+		t.method = ""
+		if err := sp.selectTarget(t); err != nil {
+			return fmt.Errorf("core: failover exhausted: %w (last send error: %v)", err, lastErr)
+		}
+		if err := t.conn.conn.Send(enc); err != nil {
+			lastErr = err
+			continue
+		}
+		sp.owner.stats.Counter("rsr.failover").Inc()
+		return nil
+	}
+}
+
+// Close releases the startpoint's communication objects. The links
+// themselves (the remote endpoints) are unaffected.
+func (sp *Startpoint) Close() {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for _, t := range sp.targets {
+		if t.conn != nil {
+			sp.owner.releaseConn(t.conn)
+			t.conn = nil
+			t.method = ""
+		}
+	}
+}
+
+// Encode packs the startpoint — links and descriptor tables — into the
+// buffer, so it can travel inside an RSR and name its endpoints globally.
+func (sp *Startpoint) Encode(b *buffer.Buffer) { sp.encode(b, true) }
+
+// EncodeLite packs the startpoint without descriptor tables. The receiving
+// context must know the target contexts' tables already (RegisterPeerTable),
+// the optimization the paper applies to links within a parallel computer,
+// where a default table is used repeatedly and startpoints must stay small.
+func (sp *Startpoint) EncodeLite(b *buffer.Buffer) { sp.encode(b, false) }
+
+func (sp *Startpoint) encode(b *buffer.Buffer, withTables bool) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	b.PutUint16(uint16(len(sp.targets)))
+	for _, t := range sp.targets {
+		b.PutUint64(uint64(t.context))
+		b.PutUint64(t.endpoint)
+		if withTables && t.table != nil {
+			b.PutBool(true)
+			t.table.Encode(b)
+		} else {
+			b.PutBool(false)
+		}
+	}
+}
+
+// DecodeStartpoint rebuilds a startpoint from a buffer in this context.
+// Copying a startpoint this way creates fresh communication links: method
+// selection runs anew here, against this context's modules, when the
+// startpoint is first used.
+func (c *Context) DecodeStartpoint(b *buffer.Buffer) (*Startpoint, error) {
+	n := int(b.Uint16())
+	if err := b.Err(); err != nil {
+		return nil, fmt.Errorf("core: decoding startpoint: %w", err)
+	}
+	sp := &Startpoint{owner: c}
+	for i := 0; i < n; i++ {
+		t := &target{
+			context:  transport.ContextID(b.Uint64()),
+			endpoint: b.Uint64(),
+		}
+		if b.Bool() {
+			table, err := transport.DecodeTable(b)
+			if err != nil {
+				return nil, fmt.Errorf("core: decoding startpoint target %d: %w", i, err)
+			}
+			t.table = table
+		}
+		if err := b.Err(); err != nil {
+			return nil, fmt.Errorf("core: decoding startpoint target %d: %w", i, err)
+		}
+		sp.targets = append(sp.targets, t)
+	}
+	return sp, nil
+}
+
+// TransferStartpoint copies a startpoint into another context through the
+// standard encode/decode path, exactly as if it had been carried inside an
+// RSR. It is a convenience for single-process machines, where the "transfer"
+// needs no network hop.
+func TransferStartpoint(sp *Startpoint, dst *Context) (*Startpoint, error) {
+	b := buffer.New(256)
+	sp.Encode(b)
+	dec, err := buffer.FromBytes(b.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return dst.DecodeStartpoint(dec)
+}
+
+func (sp *Startpoint) String() string {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if len(sp.targets) == 1 {
+		t := sp.targets[0]
+		return fmt.Sprintf("startpoint(ctx=%d, ep=%d, method=%q)", t.context, t.endpoint, t.method)
+	}
+	return fmt.Sprintf("startpoint(%d links)", len(sp.targets))
+}

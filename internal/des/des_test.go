@@ -1,0 +1,137 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(30*time.Microsecond, func() { order = append(order, 3) })
+	s.At(10*time.Microsecond, func() { order = append(order, 1) })
+	s.At(20*time.Microsecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 30*time.Microsecond {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Microsecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	s := New()
+	var hits []Time
+	s.After(5*time.Microsecond, func() {
+		hits = append(hits, s.Now())
+		s.After(5*time.Microsecond, func() {
+			hits = append(hits, s.Now())
+		})
+	})
+	s.Run()
+	if len(hits) != 2 || hits[0] != 5*time.Microsecond || hits[1] != 10*time.Microsecond {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestPastSchedulingClamped(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(10*time.Microsecond, func() {
+		s.At(time.Microsecond, func() { // in the past
+			ran = true
+			if s.Now() != 10*time.Microsecond {
+				t.Errorf("past event ran at %v", s.Now())
+			}
+		})
+	})
+	s.Run()
+	if !ran {
+		t.Error("past event never ran")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var count int
+	for i := 1; i <= 5; i++ {
+		s.At(Time(i)*time.Millisecond, func() { count++ })
+	}
+	s.RunUntil(3 * time.Millisecond)
+	if count != 3 {
+		t.Errorf("count = %d after RunUntil(3ms)", count)
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Errorf("Now = %v", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	s.Run()
+	if count != 5 {
+		t.Errorf("count = %d after Run", count)
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	s := New()
+	var count int
+	for i := 1; i <= 100; i++ {
+		s.At(Time(i), func() { count++ })
+	}
+	s.RunWhile(func() bool { return count < 7 })
+	if count != 7 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step on empty queue reported work")
+	}
+}
+
+// Property: for any set of timestamps, events fire in nondecreasing time
+// order and the clock ends at the max.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := New()
+		var fired []Time
+		var max Time
+		for _, o := range offsets {
+			d := Time(o) * time.Microsecond
+			if d > max {
+				max = d
+			}
+			s.At(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(offsets) == 0 || s.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package metrics provides the lightweight counters behind the core's
+// enquiry functions.
+//
+// The paper requires that implementations "provide this information via
+// enquiry functions" so programmers can evaluate automatic selection and tune
+// manual selections. Counters here are cheap enough to update on every RSR
+// and every poll pass.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Set is a named collection of counters. The zero value is not usable; use
+// NewSet.
+type Set struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set {
+	return &Set{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+// The returned pointer may be cached by callers on hot paths.
+func (s *Set) Counter(name string) *Counter {
+	s.mu.RLock()
+	c, ok := s.counters[name]
+	s.mu.RUnlock()
+	if ok {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok = s.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	s.counters[name] = c
+	return c
+}
+
+// Get returns the current value of the named counter (0 if absent).
+func (s *Set) Get(name string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if c, ok := s.counters[name]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+// Snapshot returns a copy of all counter values.
+func (s *Set) Snapshot() map[string]uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]uint64, len(s.counters))
+	for k, c := range s.counters {
+		out[k] = c.Load()
+	}
+	return out
+}
+
+// Names returns the counter names in sorted order.
+func (s *Set) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,266 @@
+package model
+
+import (
+	"time"
+
+	"nexus/internal/des"
+)
+
+// CoupledConfig parameterises the Table 1 reproduction: the coupled
+// ocean/atmosphere model run across two SP2 partitions, with intra-partition
+// traffic on MPL and inter-partition traffic on TCP.
+//
+// The per-timestep cost model composes these mechanisms, each taken from the
+// paper's §3.3–§4 discussion:
+//
+//   - Internal (intra-component) communication is many small messages. With
+//     MPL these overlap computation well, so only a fraction MPLOverlap of
+//     them sits on the critical path; TCP's synchronous kernel processing
+//     prevents overlap (TCPOverlap = 1), which is what makes the all-TCP
+//     configuration an order of magnitude slower.
+//   - Each critical-path message detection costs one poll pass; when TCP is
+//     polled every k-th pass, the amortized extra cost per detection is
+//     select/k, and frequent selects additionally degrade MPL transfer
+//     bandwidth (KernelInterference).
+//   - The coupling exchange (every CoupleEvery steps) travels over TCP. Its
+//     detection waits for the receiver's next TCP poll: with skip_poll k the
+//     expected wait is k·mplPoll/2, and once k exceeds the poll passes a
+//     whole timestep performs (PassesPerStep), detection slips past the
+//     step's communication phases entirely and stalls the coupled model for
+//     SubstepStall — the cliff the paper measures between skip 12000 and
+//     13000.
+//   - A forwarding node must poll TCP on every pass to stay responsive, and
+//     in a lock-step parallel code one slowed node slows all of them, so
+//     forwarding costs what skip_poll 1 costs, plus the store-and-forward
+//     relay of the coupling data over MPL.
+type CoupledConfig struct {
+	// P holds the machine constants.
+	P SP2
+	// AtmoProcs and OceanProcs give the component sizes (16 and 8).
+	AtmoProcs  int
+	OceanProcs int
+	// ComputePerStep is the critical-path computation per timestep.
+	ComputePerStep des.Time
+	// MessagesPerStep is the total count of internal messages per timestep.
+	MessagesPerStep int
+	// MPLOverlap is the fraction of internal messages on the critical path
+	// under MPL (asynchronous, overlappable); TCPOverlap the same under TCP
+	// (synchronous).
+	MPLOverlap float64
+	TCPOverlap float64
+	// HaloBytes is the size of an internal message.
+	HaloBytes int
+	// CoupleBytes is the coupling payload per direction per exchange.
+	CoupleBytes int
+	// CoupleEvery exchanges coupling data every k timesteps (2).
+	CoupleEvery int
+	// PassesPerStep is the number of poll passes a node performs per
+	// timestep (polls happen in communication waits; compute phases issue
+	// none).
+	PassesPerStep int
+	// SubstepStall is the stall incurred when coupling detection misses a
+	// timestep's polls entirely.
+	SubstepStall des.Time
+	// TCPConnsPerNode scales select cost in the all-TCP configuration: a
+	// readiness scan touches every open connection.
+	TCPConnsPerNode int
+}
+
+// DefaultCoupled returns the calibrated Table 1 configuration.
+func DefaultCoupled() CoupledConfig {
+	return CoupledConfig{
+		P:               DefaultSP2(),
+		AtmoProcs:       16,
+		OceanProcs:      8,
+		ComputePerStep:  100200 * time.Millisecond,
+		MessagesPerStep: 360_000,
+		MPLOverlap:      0.09,
+		TCPOverlap:      1.0,
+		HaloBytes:       2048,
+		CoupleBytes:     4 << 20,
+		CoupleEvery:     2,
+		PassesPerStep:   12_500,
+		SubstepStall:    3200 * time.Millisecond,
+		TCPConnsPerNode: 8,
+	}
+}
+
+// Table1Row is one row of the reproduced Table 1 (plus the all-TCP
+// configuration the paper reports in the accompanying text).
+type Table1Row struct {
+	// Experiment names the configuration as in the paper's table.
+	Experiment string
+	// SecondsPerStep is the modelled execution time per timestep.
+	SecondsPerStep float64
+}
+
+// Table1 regenerates the paper's Table 1: execution time per timestep for
+// the coupled model under each multimethod communication strategy, plus the
+// no-multimethod (all TCP) configuration described in the text.
+func Table1(cfg CoupledConfig) []Table1Row {
+	rows := []Table1Row{
+		{Experiment: "TCP only (no multimethod)", SecondsPerStep: cfg.tcpOnly().Seconds()},
+		{Experiment: "Selective TCP", SecondsPerStep: cfg.selective().Seconds()},
+		{Experiment: "Forwarding", SecondsPerStep: cfg.forwarding().Seconds()},
+	}
+	for _, k := range []int{1, 100, 10000, 12000, 13000} {
+		rows = append(rows, Table1Row{
+			Experiment:     "skip poll " + itoa(k),
+			SecondsPerStep: cfg.skipPoll(k).Seconds(),
+		})
+	}
+	return rows
+}
+
+func itoa(k int) string {
+	if k == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for k > 0 {
+		i--
+		buf[i] = byte('0' + k%10)
+		k /= 10
+	}
+	return string(buf[i:])
+}
+
+// Table1Sweep evaluates the skip_poll strategy over an arbitrary set of
+// values — the fine-grained version of Table 1's five rows, used to plot the
+// full U-shaped curve and locate its minimum.
+func Table1Sweep(cfg CoupledConfig, skips []int) []Table1Row {
+	rows := make([]Table1Row, 0, len(skips))
+	for _, k := range skips {
+		rows = append(rows, Table1Row{
+			Experiment:     "skip poll " + itoa(k),
+			SecondsPerStep: cfg.skipPoll(k).Seconds(),
+		})
+	}
+	return rows
+}
+
+// AblationPoint compares the two multimethod detection strategies as the
+// coupling payload grows: tuned polling pays a detection latency, forwarding
+// pays a store-and-forward relay whose cost is proportional to payload size
+// (plus the forwarder's own polling tax). This quantifies §4's closing
+// observation — "the performance of the polling implementation can exceed
+// that of TCP forwarding" — and shows by how much, where.
+type AblationPoint struct {
+	// CoupleBytes is the coupling payload per direction.
+	CoupleBytes int
+	// TunedSkipPoll is the best skip_poll row (minimum over the sweep).
+	TunedSkipPoll float64
+	// Forwarding is the forwarding row.
+	Forwarding float64
+}
+
+// ForwardingAblation sweeps coupling payload sizes, reporting both
+// strategies at each point.
+func ForwardingAblation(cfg CoupledConfig, sizes []int) []AblationPoint {
+	skips := []int{1, 10, 100, 1000, 4000, 8000, 12000}
+	out := make([]AblationPoint, 0, len(sizes))
+	for _, size := range sizes {
+		c := cfg
+		c.CoupleBytes = size
+		best := c.skipPoll(skips[0]).Seconds()
+		for _, k := range skips[1:] {
+			if v := c.skipPoll(k).Seconds(); v < best {
+				best = v
+			}
+		}
+		out = append(out, AblationPoint{
+			CoupleBytes:   size,
+			TunedSkipPoll: best,
+			Forwarding:    c.forwarding().Seconds(),
+		})
+	}
+	return out
+}
+
+// criticalMessages is the number of internal messages on the critical path.
+func (c CoupledConfig) criticalMessages(overlap float64) float64 {
+	return float64(c.MessagesPerStep) * overlap
+}
+
+// mplMessageCost is the critical-path cost of one internal MPL message when
+// TCP is polled every skip-th pass (skip <= 0 means TCP is never polled, the
+// selective configuration).
+func (c CoupledConfig) mplMessageCost(skip int) des.Time {
+	p := c.P
+	bw := p.MPLBandwidth
+	var tcpAmortized des.Time
+	if skip > 0 {
+		bw = p.mplBandwidthWithTCP(skip)
+		tcpAmortized = des.Time(float64(p.TCPPollCost) / float64(skip))
+	}
+	tx := Network{BytesPerSec: bw}.txTime(c.HaloBytes)
+	return p.SendOverhead + p.MPLLatency + tx + p.MPLPollCost + tcpAmortized + p.DispatchCost
+}
+
+// tcpMessageCost is the critical-path cost of one internal message carried
+// over TCP in the all-TCP configuration.
+func (c CoupledConfig) tcpMessageCost() des.Time {
+	p := c.P
+	tx := Network{BytesPerSec: p.TCPBandwidth}.txTime(c.HaloBytes)
+	selectScan := des.Time(float64(p.TCPPollCost) * float64(c.TCPConnsPerNode) / 8)
+	return p.SendOverhead + p.TCPLatency + tx + selectScan + p.DispatchCost
+}
+
+// internalComm is the per-step internal communication time on the critical
+// path for the MPL-carried configurations.
+func (c CoupledConfig) internalComm(skip int) des.Time {
+	return des.Time(c.criticalMessages(c.MPLOverlap) * float64(c.mplMessageCost(skip)))
+}
+
+// coupleCost is the per-step amortized cost of the coupling exchange.
+// detect is the TCP-message detection delay of the chosen strategy.
+func (c CoupledConfig) coupleCost(detect des.Time) des.Time {
+	p := c.P
+	tx := Network{BytesPerSec: p.TCPBandwidth}.txTime(c.CoupleBytes)
+	perDirection := p.SendOverhead + p.TCPLatency + tx + detect + p.DispatchCost
+	return 2 * perDirection / des.Time(c.CoupleEvery)
+}
+
+// coupleDetect models when the receiver's polling loop notices the coupling
+// message: the next TCP poll (k·mplPoll/2 expected), or a substep stall if k
+// exceeds the step's poll budget.
+func (c CoupledConfig) coupleDetect(skip int) des.Time {
+	d := des.Time(float64(skip) * float64(c.P.MPLPollCost) / 2)
+	if skip > c.PassesPerStep {
+		d += c.SubstepStall
+	}
+	return d
+}
+
+// selective is the best case: TCP polling enabled only in the coupling
+// section, so internal communication pays no multimethod tax and coupling
+// detection costs one dedicated select.
+func (c CoupledConfig) selective() des.Time {
+	return c.ComputePerStep + c.internalComm(0) + c.coupleCost(c.P.TCPPollCost)
+}
+
+// skipPoll is the unified polling loop with TCP polled every k-th pass.
+func (c CoupledConfig) skipPoll(k int) des.Time {
+	return c.ComputePerStep + c.internalComm(k) + c.coupleCost(c.coupleDetect(k))
+}
+
+// forwarding routes inter-partition TCP through one node: members never poll
+// TCP, but the forwarder must (every pass), and in a lock-step code its
+// slowdown is everyone's; the relay additionally store-and-forwards the
+// coupling payload over MPL.
+func (c CoupledConfig) forwarding() des.Time {
+	relay := Network{BytesPerSec: c.P.MPLBandwidth}.txTime(c.CoupleBytes) +
+		c.P.MPLLatency + c.P.MPLPollCost + c.P.DispatchCost + c.P.SendOverhead
+	relayPerStep := 2 * relay / des.Time(c.CoupleEvery)
+	forwarderDetect := c.P.TCPPollCost + c.P.MPLPollCost
+	return c.ComputePerStep + c.internalComm(1) + c.coupleCost(forwarderDetect) + relayPerStep
+}
+
+// tcpOnly is the no-multimethod configuration: every internal message rides
+// TCP, whose synchronous processing exposes the full message count on the
+// critical path.
+func (c CoupledConfig) tcpOnly() des.Time {
+	internal := des.Time(c.criticalMessages(c.TCPOverlap) * float64(c.tcpMessageCost()))
+	return c.ComputePerStep + internal + c.coupleCost(c.P.TCPPollCost)
+}

@@ -1,0 +1,106 @@
+package model
+
+import (
+	"time"
+
+	"nexus/internal/des"
+)
+
+// DualPoint is one point of Figure 6: the one-way times of two ping-pong
+// programs running concurrently — one over MPL within a partition, one over
+// TCP between partitions — as a function of the skip_poll value applied to
+// TCP on the shared nodes.
+type DualPoint struct {
+	// Skip is the TCP skip_poll value.
+	Skip int
+	// MPLOneWay is the intra-partition program's one-way time.
+	MPLOneWay des.Time
+	// TCPOneWay is the inter-partition program's one-way time.
+	TCPOneWay des.Time
+	// TCPRoundtrips is how many TCP roundtrips completed while the MPL
+	// program ran its fixed count (diagnostic).
+	TCPRoundtrips int
+}
+
+// Figure6 regenerates the paper's Figure 6: the two programs' one-way times
+// across a sweep of skip_poll values for a fixed message size, following the
+// benchmark structure of Figure 5. The MPL program runs mplRounds
+// roundtrips; the TCP program free-runs concurrently and its one-way time is
+// computed from the roundtrips it completed in that window.
+func Figure6(p SP2, skips []int, size, mplRounds int) []DualPoint {
+	out := make([]DualPoint, 0, len(skips))
+	for _, k := range skips {
+		out = append(out, dualPingPong(p, k, size, mplRounds))
+	}
+	return out
+}
+
+func dualPingPong(p SP2, skip, size, mplRounds int) DualPoint {
+	sim := des.New()
+
+	mplNet := Network{Latency: p.MPLLatency, BytesPerSec: p.mplBandwidthWithTCP(skip), SendOverhead: p.SendOverhead}
+	tcpNet := Network{Latency: p.TCPLatency, BytesPerSec: p.TCPBandwidth, SendOverhead: p.SendOverhead}
+
+	partition1Modules := func() []*ModuleSim {
+		return []*ModuleSim{
+			{Name: "mpl", PollCost: p.MPLPollCost, Skip: 1, Net: mplNet},
+			{Name: "tcp", PollCost: p.TCPPollCost, Skip: skip, Net: tcpNet},
+		}
+	}
+	// n1 and n2 run the MPL ping-pong inside partition 1; n1 additionally
+	// runs the TCP ping-pong with n3 in partition 2 (Figure 5's layout: the
+	// TCP endpoints sit in separate partitions, sharing nodes with the MPL
+	// program).
+	n1 := NewNode(sim, "p1-n1", partition1Modules()...)
+	n2 := NewNode(sim, "p1-n2", partition1Modules()...)
+	n3 := NewNode(sim, "p2-n1",
+		&ModuleSim{Name: "tcp", PollCost: p.TCPPollCost, Skip: 1, Net: tcpNet},
+	)
+	n1.Dither = p.MPLPollCost
+	n2.Dither = p.MPLPollCost
+	n3.Dither = p.MPLPollCost
+
+	var mplDone des.Time
+	mplGot, tcpGot := 0, 0
+	stopAll := func() { n1.Stop(); n2.Stop(); n3.Stop() }
+
+	n1.Handle("mpl-pp", func(cursor des.Time, m *Message) des.Time {
+		cursor += p.DispatchCost + n1.Jitter(20*time.Microsecond)
+		mplGot++
+		if mplGot >= mplRounds {
+			mplDone = cursor
+			stopAll()
+			return cursor
+		}
+		return n1.Send(cursor, "mpl", n2, "mpl-pp", size)
+	})
+	n2.Handle("mpl-pp", func(cursor des.Time, m *Message) des.Time {
+		cursor += p.DispatchCost + n2.Jitter(20*time.Microsecond)
+		return n2.Send(cursor, "mpl", n1, "mpl-pp", size)
+	})
+	n1.Handle("tcp-pp", func(cursor des.Time, m *Message) des.Time {
+		cursor += p.DispatchCost + n1.Jitter(20*time.Microsecond)
+		tcpGot++
+		return n1.Send(cursor, "tcp", n3, "tcp-pp", size)
+	})
+	n3.Handle("tcp-pp", func(cursor des.Time, m *Message) des.Time {
+		cursor += p.DispatchCost + n3.Jitter(20*time.Microsecond)
+		return n3.Send(cursor, "tcp", n1, "tcp-pp", size)
+	})
+
+	n1.Start()
+	n2.Start()
+	n3.Start()
+	n1.Send(0, "mpl", n2, "mpl-pp", size)
+	n1.Send(0, "tcp", n3, "tcp-pp", size)
+	sim.Run()
+
+	pt := DualPoint{Skip: skip, TCPRoundtrips: tcpGot}
+	pt.MPLOneWay = mplDone / des.Time(2*mplRounds)
+	if tcpGot > 0 {
+		pt.TCPOneWay = mplDone / des.Time(2*tcpGot)
+	} else {
+		pt.TCPOneWay = mplDone // no roundtrip completed: report the window
+	}
+	return pt
+}

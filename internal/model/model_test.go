@@ -1,0 +1,292 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"nexus/internal/des"
+)
+
+func TestFigure4Shape(t *testing.T) {
+	p := DefaultSP2()
+	pts := Figure4(p, []int{0, 100, 1000, 10000, 100000}, 100)
+	for i, pt := range pts {
+		// Ordering at every size: raw MPL <= Nexus(MPL) < Nexus(MPL+TCP).
+		if pt.NexusMPL < pt.RawMPL {
+			t.Errorf("size %d: Nexus (%v) faster than raw MPL (%v)", pt.Size, pt.NexusMPL, pt.RawMPL)
+		}
+		if pt.NexusMPLTCP <= pt.NexusMPL {
+			t.Errorf("size %d: TCP polling free (%v vs %v)", pt.Size, pt.NexusMPLTCP, pt.NexusMPL)
+		}
+		// Times grow with size.
+		if i > 0 && pt.NexusMPL <= pts[i-1].NexusMPL && pt.Size > 1000 {
+			t.Errorf("NexusMPL not increasing at size %d", pt.Size)
+		}
+	}
+}
+
+func TestFigure4PaperEndpoints(t *testing.T) {
+	p := DefaultSP2()
+	pts := Figure4(p, []int{0}, 500)
+	zero := pts[0]
+	// Paper §3.3: Nexus 0-byte one-way is 83 µs; with TCP polling it rises
+	// to 156 µs. The model must land in the right regime (tolerances are
+	// generous: we reproduce shape, not the testbed).
+	if zero.NexusMPL < 60*time.Microsecond || zero.NexusMPL > 110*time.Microsecond {
+		t.Errorf("Nexus(MPL) 0-byte = %v, paper 83µs", zero.NexusMPL)
+	}
+	if zero.NexusMPLTCP < 130*time.Microsecond || zero.NexusMPLTCP > 300*time.Microsecond {
+		t.Errorf("Nexus(MPL+TCP) 0-byte = %v, paper 156µs", zero.NexusMPLTCP)
+	}
+	// The multimethod tax is a large fraction of the single-method time,
+	// not a rounding error (paper: 83 -> 156 is ~1.9x).
+	ratio := float64(zero.NexusMPLTCP) / float64(zero.NexusMPL)
+	if ratio < 1.5 || ratio > 3.5 {
+		t.Errorf("0-byte multimethod ratio = %.2f, paper ~1.9", ratio)
+	}
+}
+
+func TestFigure4LargeMessageDegradation(t *testing.T) {
+	p := DefaultSP2()
+	pts := Figure4(p, []int{1 << 20}, 20)
+	pt := pts[0]
+	// §3.3: "TCP support degrades MPL communication performance even for
+	// large messages". At 1 MB the single-method time approaches raw MPL
+	// while the multimethod time stays measurably above both.
+	if rel := float64(pt.NexusMPL-pt.RawMPL) / float64(pt.RawMPL); rel > 0.05 {
+		t.Errorf("Nexus overhead at 1MB = %.1f%%, should be small", rel*100)
+	}
+	if rel := float64(pt.NexusMPLTCP-pt.NexusMPL) / float64(pt.NexusMPL); rel < 0.05 {
+		t.Errorf("TCP-polling degradation at 1MB = %.1f%%, should be visible", rel*100)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	p := DefaultSP2()
+	skips := []int{1, 10, 100, 1000}
+	for _, size := range []int{0, 10 * 1024} {
+		pts := Figure6(p, skips, size, 1500)
+		// MPL improves (monotonically over this coarse sweep) as skip_poll
+		// grows; TCP degrades.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].MPLOneWay >= pts[i-1].MPLOneWay {
+				t.Errorf("size %d: MPL one-way not improving: skip %d=%v, skip %d=%v",
+					size, pts[i-1].Skip, pts[i-1].MPLOneWay, pts[i].Skip, pts[i].MPLOneWay)
+			}
+		}
+		if pts[len(pts)-1].TCPOneWay <= pts[0].TCPOneWay {
+			t.Errorf("size %d: TCP one-way did not degrade with skip_poll", size)
+		}
+	}
+}
+
+func TestFigure6KneeNearPaperValue(t *testing.T) {
+	// §3.3: "skip_poll values of around 20 provide improvement in MPL
+	// performance, while not impacting TCP performance significantly". At
+	// skip 20 the model must recover most of the MPL loss while keeping TCP
+	// within ~25% of its skip-1 time.
+	p := DefaultSP2()
+	pts := Figure6(p, []int{1, 20, 1000}, 0, 2000)
+	k1, k20, kInf := pts[0], pts[1], pts[2]
+	recovered := float64(k1.MPLOneWay-k20.MPLOneWay) / float64(k1.MPLOneWay-kInf.MPLOneWay)
+	if recovered < 0.75 {
+		t.Errorf("skip 20 recovered only %.0f%% of MPL loss", recovered*100)
+	}
+	tcpPenalty := float64(k20.TCPOneWay) / float64(k1.TCPOneWay)
+	if tcpPenalty > 1.25 {
+		t.Errorf("skip 20 inflates TCP one-way by %.2fx", tcpPenalty)
+	}
+}
+
+func rowsByName(rows []Table1Row) map[string]float64 {
+	m := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		m[r.Experiment] = r.SecondsPerStep
+	}
+	return m
+}
+
+func TestTable1Reproduction(t *testing.T) {
+	rows := rowsByName(Table1(DefaultCoupled()))
+	// Paper Table 1 values (seconds per timestep).
+	paper := map[string]float64{
+		"Selective TCP":   104.9,
+		"Forwarding":      109.3,
+		"skip poll 1":     109.1,
+		"skip poll 100":   107.8,
+		"skip poll 10000": 105.4,
+		"skip poll 12000": 105.0,
+		"skip poll 13000": 108.3,
+	}
+	// Every row within 3% of the paper's value. (The known model-vs-paper
+	// gap at skip 100 — our cost model decays faster than their measured
+	// overhead — is inside this band.)
+	for name, want := range paper {
+		got, ok := rows[name]
+		if !ok {
+			t.Fatalf("missing row %q", name)
+		}
+		if rel := abs(got-want) / want; rel > 0.03 {
+			t.Errorf("%s = %.1f, paper %.1f (%.1f%% off)", name, got, want, rel*100)
+		}
+	}
+}
+
+func TestTable1Ordering(t *testing.T) {
+	rows := rowsByName(Table1(DefaultCoupled()))
+	sel := rows["Selective TCP"]
+	// Selective TCP is the best case.
+	for name, v := range rows {
+		if name == "Selective TCP" {
+			continue
+		}
+		if v < sel-0.2 {
+			t.Errorf("%s (%.1f) beats selective TCP (%.1f)", name, v, sel)
+		}
+	}
+	// skip_poll improves monotonically up to 12000 then degrades at 13000.
+	if !(rows["skip poll 1"] > rows["skip poll 100"] &&
+		rows["skip poll 100"] >= rows["skip poll 10000"]-0.2 &&
+		rows["skip poll 12000"] <= rows["skip poll 10000"]+0.2) {
+		t.Errorf("skip_poll rows not improving: 1=%.1f 100=%.1f 10000=%.1f 12000=%.1f",
+			rows["skip poll 1"], rows["skip poll 100"], rows["skip poll 10000"], rows["skip poll 12000"])
+	}
+	if rows["skip poll 13000"] <= rows["skip poll 12000"]+1 {
+		t.Errorf("no degradation past the poll budget: 12000=%.1f 13000=%.1f",
+			rows["skip poll 12000"], rows["skip poll 13000"])
+	}
+	// Best skip_poll comes within 0.5% of the selective best case (paper:
+	// within 0.1%).
+	if rel := (rows["skip poll 12000"] - sel) / sel; rel > 0.005 {
+		t.Errorf("skip 12000 is %.2f%% off best case, paper 0.1%%", rel*100)
+	}
+	// The polling implementation can beat forwarding (§4's observation).
+	if rows["skip poll 12000"] >= rows["Forwarding"] {
+		t.Error("tuned skip_poll does not beat forwarding")
+	}
+	// All-TCP is an order of magnitude worse than the worst multimethod row.
+	worst := 0.0
+	for name, v := range rows {
+		if name != "TCP only (no multimethod)" && v > worst {
+			worst = v
+		}
+	}
+	if ratio := rows["TCP only (no multimethod)"] / worst; ratio < 5 {
+		t.Errorf("TCP-only is only %.1fx the worst multimethod time; paper reports ~an order of magnitude", ratio)
+	}
+}
+
+func TestTable1SweepUShape(t *testing.T) {
+	cfg := DefaultCoupled()
+	skips := []int{1, 100, 1000, 12000, 13000}
+	rows := Table1Sweep(cfg, skips)
+	if len(rows) != len(skips) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Decreasing to the poll-budget cliff, then a jump.
+	for i := 1; i < 4; i++ {
+		if rows[i].SecondsPerStep > rows[i-1].SecondsPerStep+0.2 {
+			t.Errorf("sweep not decreasing at %d: %.2f -> %.2f", skips[i], rows[i-1].SecondsPerStep, rows[i].SecondsPerStep)
+		}
+	}
+	if rows[4].SecondsPerStep < rows[3].SecondsPerStep+1 {
+		t.Errorf("no cliff at 13000: %.2f vs %.2f", rows[4].SecondsPerStep, rows[3].SecondsPerStep)
+	}
+}
+
+func TestForwardingAblation(t *testing.T) {
+	cfg := DefaultCoupled()
+	sizes := []int{64 << 10, 4 << 20, 64 << 20}
+	pts := ForwardingAblation(cfg, sizes)
+	for i, pt := range pts {
+		// Tuned polling beats forwarding at every payload size (§4's
+		// observation), and both grow with the payload.
+		if pt.TunedSkipPoll >= pt.Forwarding {
+			t.Errorf("size %d: tuned %.2f !< forwarding %.2f", pt.CoupleBytes, pt.TunedSkipPoll, pt.Forwarding)
+		}
+		if i > 0 {
+			if pt.TunedSkipPoll < pts[i-1].TunedSkipPoll || pt.Forwarding < pts[i-1].Forwarding {
+				t.Errorf("costs not monotone in payload at %d", pt.CoupleBytes)
+			}
+		}
+	}
+}
+
+func TestModelsDeterministic(t *testing.T) {
+	p := DefaultSP2()
+	a := Figure4(p, []int{0, 1000}, 100)
+	b := Figure4(p, []int{0, 1000}, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Figure4 not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	d1 := Figure6(p, []int{1, 50}, 0, 500)
+	d2 := Figure6(p, []int{1, 50}, 0, 500)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("Figure6 not deterministic at %d", i)
+		}
+	}
+}
+
+func TestNodeSkipPollAccounting(t *testing.T) {
+	// A module with Skip=k must be polled ~1/k as often as a Skip=1 module
+	// on the same node.
+	p := DefaultSP2()
+	pts := dualPingPong(p, 10, 0, 500)
+	_ = pts
+	// Validated indirectly through Figure 6; here check the ModuleSim
+	// counters directly on a fresh scenario.
+	res := dualPingPongCounters(p, 10, 500)
+	if res.tcpPolls == 0 || res.mplPolls == 0 {
+		t.Fatal("no polls recorded")
+	}
+	ratio := float64(res.mplPolls) / float64(res.tcpPolls)
+	if ratio < 8 || ratio > 12 {
+		t.Errorf("mpl/tcp poll ratio = %.1f, want ~10", ratio)
+	}
+}
+
+type counterResult struct{ mplPolls, tcpPolls int }
+
+func dualPingPongCounters(p SP2, skip, rounds int) counterResult {
+	sim := des.New()
+	mplNet := Network{Latency: p.MPLLatency, BytesPerSec: p.MPLBandwidth, SendOverhead: p.SendOverhead}
+	n1 := NewNode(sim, "a",
+		&ModuleSim{Name: "mpl", PollCost: p.MPLPollCost, Skip: 1, Net: mplNet},
+		&ModuleSim{Name: "tcp", PollCost: p.TCPPollCost, Skip: skip, Net: mplNet},
+	)
+	n2 := NewNode(sim, "b",
+		&ModuleSim{Name: "mpl", PollCost: p.MPLPollCost, Skip: 1, Net: mplNet},
+		&ModuleSim{Name: "tcp", PollCost: p.TCPPollCost, Skip: skip, Net: mplNet},
+	)
+	got := 0
+	n1.Handle("pp", func(cursor des.Time, m *Message) des.Time {
+		got++
+		if got >= rounds {
+			n1.Stop()
+			n2.Stop()
+			return cursor
+		}
+		return n1.Send(cursor, "mpl", n2, "pp", 0)
+	})
+	n2.Handle("pp", func(cursor des.Time, m *Message) des.Time {
+		return n2.Send(cursor, "mpl", n1, "pp", 0)
+	})
+	n1.Start()
+	n2.Start()
+	n1.Send(0, "mpl", n2, "pp", 0)
+	sim.Run()
+	return counterResult{
+		mplPolls: n1.Module("mpl").Polls,
+		tcpPolls: n1.Module("tcp").Polls,
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

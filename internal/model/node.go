@@ -1,0 +1,217 @@
+package model
+
+import (
+	"container/heap"
+	"fmt"
+
+	"nexus/internal/des"
+)
+
+// Network models one communication method's wire between nodes.
+type Network struct {
+	// Latency is the one-way wire latency.
+	Latency des.Time
+	// BytesPerSec is the link bandwidth (0 = infinite).
+	BytesPerSec float64
+	// SendOverhead is the sender-side per-message cost.
+	SendOverhead des.Time
+}
+
+func (n Network) txTime(size int) des.Time {
+	if n.BytesPerSec <= 0 {
+		return 0
+	}
+	return des.Time(float64(size) / n.BytesPerSec * 1e9)
+}
+
+// Message is a modelled frame in flight or queued at a receiver.
+type Message struct {
+	// Tag routes the message to a handler at the destination node.
+	Tag string
+	// Size is the payload size in bytes.
+	Size int
+	// Arrive is the virtual time the message reached the destination.
+	Arrive des.Time
+}
+
+// Handler processes a detected message. cursor is the node-local time at
+// which processing starts (poll-pass end plus earlier handlers); the handler
+// returns the cursor after consuming whatever node time it needs.
+type Handler func(cursor des.Time, m *Message) des.Time
+
+type msgHeap []*Message
+
+func (h msgHeap) Len() int            { return len(h) }
+func (h msgHeap) Less(i, j int) bool  { return h[i].Arrive < h[j].Arrive }
+func (h msgHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x interface{}) { *h = append(*h, x.(*Message)) }
+func (h *msgHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ModuleSim is one communication method at one node: its poll cost,
+// skip_poll setting, inbound queue, and wire parameters for sends.
+type ModuleSim struct {
+	Name     string
+	PollCost des.Time
+	Skip     int
+	Net      Network
+
+	countdown int
+	queue     msgHeap
+	linkFree  map[*Node]des.Time
+
+	// Polls counts module polls (enquiry for tests and reports).
+	Polls int
+	// Delivered counts messages handed to handlers.
+	Delivered int
+}
+
+// Node is a modelled processor running the unified polling loop: each pass
+// polls the modules whose skip countdown expired, pays their poll costs, and
+// dispatches any messages that had arrived by the start of the pass.
+type Node struct {
+	sim      *des.Sim
+	Name     string
+	modules  []*ModuleSim
+	byName   map[string]*ModuleSim
+	handlers map[string]Handler
+	running  bool
+
+	// Dither, when positive, adds a deterministic pseudo-random idle of
+	// [0, Dither) between poll passes. Real nodes are not phase-locked to
+	// each other; without dither the simulation locks message arrivals to a
+	// fixed phase of the polling loop and detection delay collapses to a
+	// single (often worst-case) value instead of its average.
+	Dither  des.Time
+	passSeq uint64
+}
+
+// NewNode creates a node on the simulation with the given modules, polled in
+// order.
+func NewNode(sim *des.Sim, name string, modules ...*ModuleSim) *Node {
+	n := &Node{sim: sim, Name: name, byName: make(map[string]*ModuleSim), handlers: make(map[string]Handler)}
+	for _, m := range modules {
+		if m.Skip < 1 {
+			m.Skip = 1
+		}
+		m.linkFree = make(map[*Node]des.Time)
+		n.modules = append(n.modules, m)
+		n.byName[m.Name] = m
+	}
+	return n
+}
+
+// Module returns the named module.
+func (n *Node) Module(name string) *ModuleSim { return n.byName[name] }
+
+// Handle registers the handler for a message tag.
+func (n *Node) Handle(tag string, h Handler) { n.handlers[tag] = h }
+
+// Start begins the node's polling loop at the current virtual time.
+func (n *Node) Start() {
+	if n.running {
+		return
+	}
+	n.running = true
+	n.sim.At(n.sim.Now(), n.pass)
+}
+
+// Stop halts the polling loop after the current pass.
+func (n *Node) Stop() { n.running = false }
+
+// pass executes one pass of the unified polling function.
+func (n *Node) pass() {
+	if !n.running {
+		return
+	}
+	start := n.sim.Now()
+	var cost des.Time
+	var due []*ModuleSim
+	var checkAt []des.Time // per due module: when its poll call completes
+	for _, m := range n.modules {
+		if m.countdown > 0 {
+			m.countdown--
+			continue
+		}
+		m.countdown = m.Skip - 1
+		m.Polls++
+		cost += m.PollCost
+		due = append(due, m)
+		checkAt = append(checkAt, start+cost)
+	}
+	end := start + cost
+	n.sim.At(end, func() {
+		cursor := end
+		for i, m := range due {
+			seenBy := checkAt[i] // a poll detects messages arrived by its completion
+			for len(m.queue) > 0 && m.queue[0].Arrive <= seenBy {
+				msg := heap.Pop(&m.queue).(*Message)
+				m.Delivered++
+				h, ok := n.handlers[msg.Tag]
+				if !ok {
+					panic(fmt.Sprintf("model: node %s: no handler for tag %q", n.Name, msg.Tag))
+				}
+				cursor = h(cursor, msg)
+			}
+		}
+		if n.running {
+			n.sim.At(cursor+n.dither(), n.pass)
+		}
+	})
+}
+
+// dither returns the next deterministic inter-pass idle (Weyl-sequence
+// pseudo-randomness: reproducible, uniform over [0, Dither)).
+func (n *Node) dither() des.Time {
+	if n.Dither <= 0 {
+		return 0
+	}
+	n.passSeq++
+	return des.Time(n.passSeq * 2654435761 % uint64(n.Dither))
+}
+
+// Jitter returns a deterministic pseudo-random duration in [0, max),
+// modelling handler execution-time variation. Scenario handlers add it to
+// their processing cost so message arrivals sample the polling cycle
+// uniformly instead of locking to one phase.
+func (n *Node) Jitter(max des.Time) des.Time {
+	if max <= 0 {
+		return 0
+	}
+	n.passSeq += 0x9E3779B9
+	return des.Time(n.passSeq * 6364136223846793005 % uint64(max))
+}
+
+// Send models an RSR issued at node-local time `at` over the named module to
+// dst: the sender pays the module's send overhead, the wire serializes
+// transmissions per (link, destination), and the message becomes visible to
+// dst's polling loop after transmission plus latency. It returns the
+// sender-side cursor after the send.
+func (n *Node) Send(at des.Time, module string, dst *Node, tag string, size int) des.Time {
+	m := n.byName[module]
+	if m == nil {
+		panic(fmt.Sprintf("model: node %s: no module %q", n.Name, module))
+	}
+	dm := dst.byName[module]
+	if dm == nil {
+		panic(fmt.Sprintf("model: node %s: destination %s lacks module %q", n.Name, dst.Name, module))
+	}
+	cursor := at + m.Net.SendOverhead
+	wireStart := cursor
+	if free, ok := m.linkFree[dst]; ok && free > wireStart {
+		wireStart = free
+	}
+	txEnd := wireStart + m.Net.txTime(size)
+	m.linkFree[dst] = txEnd
+	arrive := txEnd + m.Net.Latency
+	msg := &Message{Tag: tag, Size: size, Arrive: arrive}
+	n.sim.At(arrive, func() {
+		heap.Push(&dm.queue, msg)
+	})
+	return cursor
+}

@@ -1,0 +1,84 @@
+// Package model implements calibrated performance models of the Nexus
+// multimethod communication architecture, used to regenerate the paper's
+// quantitative results (Figure 4, Figure 6, Table 1) in virtual time.
+//
+// The models run on the discrete-event kernel in internal/des. Their
+// constants come from the paper where it states them (MPL ≈ 36 MB/s, TCP ≈
+// 8 MB/s over the SP2 switch; mpc_status ≈ 15 µs, select ≈ 100+ µs; TCP
+// small-message latency ≈ 2 ms; Nexus 0-byte one-way 83 µs rising to 156 µs
+// with TCP polling) and are otherwise calibrated so the reproduced curves
+// land near the published ones; EXPERIMENTS.md records paper-vs-measured for
+// every point.
+package model
+
+import (
+	"time"
+
+	"nexus/internal/des"
+)
+
+// SP2 holds the machine and runtime constants of the paper's experimental
+// platform (the Argonne SP2).
+type SP2 struct {
+	// MPLLatency is the one-way wire latency of MPL over the SP2 switch.
+	MPLLatency des.Time
+	// MPLBandwidth is MPL's peak bandwidth in bytes/second (§3.3: ~36 MB/s).
+	MPLBandwidth float64
+	// MPLPollCost is the cost of one mpc_status probe (§3.3: 15 µs).
+	MPLPollCost des.Time
+	// TCPLatency is the one-way small-message latency of TCP over the
+	// switch between partitions (§4: ~2 ms).
+	TCPLatency des.Time
+	// TCPBandwidth is TCP's bandwidth over the switch (§3.3: ~8 MB/s).
+	TCPBandwidth float64
+	// TCPPollCost is the cost of one select(2) scan (§3.3: 100+ µs).
+	TCPPollCost des.Time
+	// SendOverhead is the sender-side cost of issuing an RSR.
+	SendOverhead des.Time
+	// DispatchCost is the receiver-side cost of decoding a frame and
+	// dispatching its handler.
+	DispatchCost des.Time
+	// RawMPLZero is the 0-byte one-way time of the low-level MPL program
+	// (no Nexus), the lower line in Figure 4.
+	RawMPLZero des.Time
+	// KernelInterference scales the bandwidth degradation that frequent
+	// select calls impose on concurrent MPL transfers (§3.3's hypothesis
+	// for why TCP polling slows even large-message MPL): the receiver's
+	// effective MPL bandwidth is divided by 1 + KernelInterference *
+	// tcpPollShare, where tcpPollShare is the fraction of polling time
+	// spent in select.
+	KernelInterference float64
+}
+
+// DefaultSP2 returns the calibrated constants.
+func DefaultSP2() SP2 {
+	return SP2{
+		MPLLatency:         30 * time.Microsecond,
+		MPLBandwidth:       36e6,
+		MPLPollCost:        15 * time.Microsecond,
+		TCPLatency:         2 * time.Millisecond,
+		TCPBandwidth:       8e6,
+		TCPPollCost:        100 * time.Microsecond,
+		SendOverhead:       12 * time.Microsecond,
+		DispatchCost:       18 * time.Microsecond,
+		RawMPLZero:         60 * time.Microsecond,
+		KernelInterference: 0.35,
+	}
+}
+
+// tcpPollShare is the fraction of a steady polling loop spent in TCP select
+// when TCP is polled every skip-th pass.
+func (p SP2) tcpPollShare(skip int) float64 {
+	if skip < 1 {
+		skip = 1
+	}
+	mpl := float64(p.MPLPollCost) * float64(skip)
+	tcp := float64(p.TCPPollCost)
+	return tcp / (mpl + tcp)
+}
+
+// mplBandwidthWithTCP is the effective MPL bandwidth seen by a node that
+// also polls TCP every skip-th pass.
+func (p SP2) mplBandwidthWithTCP(skip int) float64 {
+	return p.MPLBandwidth / (1 + p.KernelInterference*p.tcpPollShare(skip))
+}

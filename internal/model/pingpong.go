@@ -1,0 +1,93 @@
+package model
+
+import (
+	"time"
+
+	"nexus/internal/des"
+)
+
+// PingPongPoint is one point of Figure 4: the one-way communication time for
+// a given message size under the three configurations the paper measures.
+type PingPongPoint struct {
+	// Size is the message size in bytes.
+	Size int
+	// RawMPL is the low-level MPL program (no Nexus).
+	RawMPL des.Time
+	// NexusMPL is Nexus with a single communication method (MPL).
+	NexusMPL des.Time
+	// NexusMPLTCP is Nexus with two methods (MPL and TCP), all traffic on
+	// MPL; the difference from NexusMPL is pure TCP-polling overhead.
+	NexusMPLTCP des.Time
+}
+
+// Figure4 regenerates the paper's Figure 4: one-way ping-pong time as a
+// function of message size for the three configurations.
+func Figure4(p SP2, sizes []int, rounds int) []PingPongPoint {
+	out := make([]PingPongPoint, 0, len(sizes))
+	for _, size := range sizes {
+		out = append(out, PingPongPoint{
+			Size:        size,
+			RawMPL:      p.RawMPLZero + Network{BytesPerSec: p.MPLBandwidth}.txTime(size),
+			NexusMPL:    pingPongOneWay(p, size, rounds, false),
+			NexusMPLTCP: pingPongOneWay(p, size, rounds, true),
+		})
+	}
+	return out
+}
+
+// pingPongOneWay runs a modelled ping-pong between two nodes and returns the
+// mean one-way time. withTCP adds an idle TCP module polled every pass,
+// reproducing the multimethod-detection overhead of §3.3.
+func pingPongOneWay(p SP2, size, rounds int, withTCP bool) des.Time {
+	sim := des.New()
+
+	mplBW := p.MPLBandwidth
+	if withTCP {
+		mplBW = p.mplBandwidthWithTCP(1)
+	}
+	mkModules := func() []*ModuleSim {
+		mods := []*ModuleSim{{
+			Name:     "mpl",
+			PollCost: p.MPLPollCost,
+			Skip:     1,
+			Net:      Network{Latency: p.MPLLatency, BytesPerSec: mplBW, SendOverhead: p.SendOverhead},
+		}}
+		if withTCP {
+			mods = append(mods, &ModuleSim{
+				Name:     "tcp",
+				PollCost: p.TCPPollCost,
+				Skip:     1,
+				Net:      Network{Latency: p.TCPLatency, BytesPerSec: p.TCPBandwidth, SendOverhead: p.SendOverhead},
+			})
+		}
+		return mods
+	}
+	a := NewNode(sim, "A", mkModules()...)
+	b := NewNode(sim, "B", mkModules()...)
+	a.Dither = p.MPLPollCost
+	b.Dither = p.MPLPollCost
+
+	var done des.Time
+	got := 0
+	a.Handle("pp", func(cursor des.Time, m *Message) des.Time {
+		cursor += p.DispatchCost + a.Jitter(20*time.Microsecond)
+		got++
+		if got >= rounds {
+			done = cursor
+			a.Stop()
+			b.Stop()
+			return cursor
+		}
+		return a.Send(cursor, "mpl", b, "pp", size)
+	})
+	b.Handle("pp", func(cursor des.Time, m *Message) des.Time {
+		cursor += p.DispatchCost + b.Jitter(20*time.Microsecond)
+		return b.Send(cursor, "mpl", a, "pp", size)
+	})
+
+	a.Start()
+	b.Start()
+	a.Send(0, "mpl", b, "pp", size)
+	sim.Run()
+	return done / des.Time(2*rounds)
+}

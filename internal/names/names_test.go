@@ -1,0 +1,217 @@
+package names
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nexus/internal/buffer"
+	"nexus/internal/cluster"
+	"nexus/internal/core"
+	"nexus/internal/transport"
+)
+
+// testWorld builds a machine with a name server on rank 0 and clients on
+// every other rank, with a background poller on the server so requests are
+// answered without explicit polling.
+func testWorld(t *testing.T, n int) (*cluster.Machine, *Server, []*Client) {
+	t.Helper()
+	m, err := cluster.New(cluster.Uniform(n, "p", core.MethodConfig{Name: "inproc"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	srv := NewServer(m.Context(0))
+	stop := m.Context(0).StartPoller(0)
+	t.Cleanup(stop)
+
+	clients := make([]*Client, 0, n-1)
+	for r := 1; r < n; r++ {
+		sp, err := core.TransferStartpoint(srv.Startpoint(), m.Context(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewClient(m.Context(r), sp)
+		c.SetTimeout(5 * time.Second)
+		clients = append(clients, c)
+	}
+	return m, srv, clients
+}
+
+func TestRegisterResolveAcrossContexts(t *testing.T) {
+	m, srv, clients := testWorld(t, 3)
+	publisher, consumer := clients[0], clients[1]
+
+	// Rank 1 publishes a service endpoint under a name.
+	var got atomic.Value
+	ep := m.Context(1).NewEndpoint(core.WithHandler(func(ep *core.Endpoint, b *buffer.Buffer) {
+		got.Store(b.String())
+	}))
+	if err := publisher.Register("services/render", ep.NewStartpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Len() != 1 {
+		t.Errorf("server entries = %d", srv.Len())
+	}
+
+	// Rank 2 resolves the name and uses the startpoint directly.
+	sp, err := consumer.Resolve("services/render")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := buffer.New(32)
+	b.PutString("render frame 7")
+	if err := sp.RSR("", b); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Context(1).PollUntil(func() bool { return got.Load() != nil }, 5*time.Second) {
+		t.Fatal("resolved startpoint did not deliver")
+	}
+	if got.Load() != "render frame 7" {
+		t.Errorf("payload = %v", got.Load())
+	}
+}
+
+func TestResolveUnknownName(t *testing.T) {
+	_, _, clients := testWorld(t, 2)
+	if _, err := clients[0].Resolve("no/such/name"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Resolve = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	m, _, clients := testWorld(t, 2)
+	ep := m.Context(1).NewEndpoint(core.WithHandler(func(*core.Endpoint, *buffer.Buffer) {}))
+	if err := clients[0].Register("dup", ep.NewStartpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if err := clients[0].Register("dup", ep.NewStartpoint()); !errors.Is(err, ErrExists) {
+		t.Errorf("second Register = %v, want ErrExists", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	m, _, clients := testWorld(t, 2)
+	c := clients[0]
+	names, err := c.List()
+	if err != nil || len(names) != 0 {
+		t.Fatalf("empty List = %v, %v", names, err)
+	}
+	ep := m.Context(1).NewEndpoint(core.WithHandler(func(*core.Endpoint, *buffer.Buffer) {}))
+	for _, n := range []string{"b", "a", "c"} {
+		if err := c.Register(n, ep.NewStartpoint()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err = c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Errorf("List = %v", names)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	// A server that never polls never answers.
+	m, err := cluster.New(cluster.Uniform(2, "p", core.MethodConfig{Name: "inproc"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := NewServer(m.Context(0))
+	sp, err := core.TransferStartpoint(srv.Startpoint(), m.Context(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(m.Context(1), sp)
+	c.SetTimeout(100 * time.Millisecond)
+	if _, err := c.Resolve("x"); !errors.Is(err, ErrTimeout) {
+		t.Errorf("Resolve against silent server = %v, want ErrTimeout", err)
+	}
+}
+
+// TestResolvedStartpointCrossesPartitions registers a link from inside a
+// partition and resolves it from another site: the resolved startpoint's
+// descriptor table must drive selection onto the wide-area method, proving
+// the name service publishes full reachability, not just an address.
+func TestResolvedStartpointCrossesPartitions(t *testing.T) {
+	fast := transport.Params{"latency": "0", "poll_cost": "0", "bandwidth": "0"}
+	m, err := cluster.New(cluster.TwoPartition(2, "sp2", 1, "remote",
+		core.MethodConfig{Name: "mpl", Params: fast},
+		core.MethodConfig{Name: "wan", Params: fast},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := NewServer(m.Context(0))
+	stop := m.Context(0).StartPoller(0)
+	defer stop()
+
+	// Rank 1 (sp2) publishes through a same-partition client.
+	spToSrv1, err := core.TransferStartpoint(srv.Startpoint(), m.Context(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := NewClient(m.Context(1), spToSrv1)
+	pub.SetTimeout(5 * time.Second)
+	var hits atomic.Int64
+	ep := m.Context(1).NewEndpoint(core.WithHandler(func(*core.Endpoint, *buffer.Buffer) { hits.Add(1) }))
+	if err := pub.Register("sim/output", ep.NewStartpoint()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rank 2 (remote) resolves and calls: wan is its only route.
+	spToSrv2, err := core.TransferStartpoint(srv.Startpoint(), m.Context(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := NewClient(m.Context(2), spToSrv2)
+	remote.SetTimeout(5 * time.Second)
+	sp, err := remote.Resolve("sim/output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.RSR("", nil); err != nil {
+		t.Fatal(err)
+	}
+	if mth := sp.Method(); mth != "wan" {
+		t.Errorf("resolved startpoint selected %q, want wan", mth)
+	}
+	if !m.Context(1).PollUntil(func() bool { return hits.Load() == 1 }, 5*time.Second) {
+		t.Fatal("cross-partition call via resolved name lost")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	m, srv, clients := testWorld(t, 5)
+	ep := m.Context(1).NewEndpoint(core.WithHandler(func(*core.Endpoint, *buffer.Buffer) {}))
+
+	done := make(chan error, len(clients))
+	for i, c := range clients {
+		go func(i int, c *Client) {
+			name := string(rune('a' + i))
+			if err := c.Register(name, ep.NewStartpoint()); err != nil {
+				done <- err
+				return
+			}
+			if _, err := c.Resolve(name); err != nil {
+				done <- err
+				return
+			}
+			done <- nil
+		}(i, c)
+	}
+	for range clients {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Len() != len(clients) {
+		t.Errorf("entries = %d, want %d", srv.Len(), len(clients))
+	}
+}

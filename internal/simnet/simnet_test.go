@@ -1,0 +1,282 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nexus/internal/transport"
+)
+
+type collect struct {
+	mu     sync.Mutex
+	frames [][]byte
+}
+
+func (c *collect) Deliver(f []byte) {
+	c.mu.Lock()
+	c.frames = append(c.frames, f)
+	c.mu.Unlock()
+}
+
+func (c *collect) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.frames)
+}
+
+func fastCfg(method string, scope Scope) Config {
+	return Config{Method: method, Scope: scope, TimeScale: 1, PollBatch: 32}
+}
+
+func initOn(t *testing.T, f *Fabric, cfg Config, ctx transport.ContextID, proc, part string, sink transport.Sink) (*Module, transport.Descriptor) {
+	t.Helper()
+	m := New(f, cfg)
+	d, err := m.Init(transport.Env{Context: ctx, Process: proc, Partition: part, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m, *d
+}
+
+func TestZeroDelayDelivery(t *testing.T) {
+	f := NewFabric("z")
+	sink := &collect{}
+	recv, d := initOn(t, f, fastCfg("mpl", ScopePartition), 1, "p", "part0", sink)
+	send, _ := initOn(t, f, fastCfg("mpl", ScopePartition), 2, "p", "part0", &collect{})
+	c, err := send.Dial(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := recv.Poll(); n != 1 || err != nil {
+		t.Fatalf("Poll = %d, %v", n, err)
+	}
+	if sink.count() != 1 {
+		t.Fatal("frame not delivered")
+	}
+}
+
+func TestLatencyDelaysVisibility(t *testing.T) {
+	f := NewFabric("lat")
+	cfg := fastCfg("mpl", ScopeGlobal)
+	cfg.Latency = 30 * time.Millisecond
+	sink := &collect{}
+	recv, d := initOn(t, f, cfg, 1, "p", "a", sink)
+	send, _ := initOn(t, f, cfg, 2, "p", "b", &collect{})
+	c, err := send.Dial(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Send([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately after send, nothing is ripe.
+	if n, _ := recv.Poll(); n != 0 {
+		t.Fatalf("frame visible before latency elapsed (n=%d)", n)
+	}
+	for sink.count() == 0 && time.Since(start) < 2*time.Second {
+		if _, err := recv.Poll(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Errorf("frame arrived after %v, want >= ~30ms", el)
+	}
+	if sink.count() != 1 {
+		t.Fatal("frame never arrived")
+	}
+}
+
+func TestBandwidthSerializesFrames(t *testing.T) {
+	f := NewFabric("bw")
+	cfg := fastCfg("mpl", ScopeGlobal)
+	cfg.BytesPerSec = 1e6 // 1 MB/s: a 20 KB frame takes 20 ms
+	sink := &collect{}
+	recv, d := initOn(t, f, cfg, 1, "p", "a", sink)
+	send, _ := initOn(t, f, cfg, 2, "p", "a", &collect{})
+	c, err := send.Dial(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if err := c.Send(make([]byte, 20_000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for sink.count() < 3 && time.Since(start) < 5*time.Second {
+		if _, err := recv.Poll(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	el := time.Since(start)
+	if sink.count() != 3 {
+		t.Fatal("frames missing")
+	}
+	// Three serialized 20 ms transmissions: at least ~60 ms.
+	if el < 50*time.Millisecond {
+		t.Errorf("3x20KB at 1MB/s arrived in %v; serialization not modelled", el)
+	}
+}
+
+func TestTimeScaleShrinksDelay(t *testing.T) {
+	f := NewFabric("ts")
+	cfg := fastCfg("mpl", ScopeGlobal)
+	cfg.Latency = 100 * time.Millisecond
+	cfg.TimeScale = 100 // effective 1 ms
+	sink := &collect{}
+	recv, d := initOn(t, f, cfg, 1, "p", "a", sink)
+	send, _ := initOn(t, f, cfg, 2, "p", "a", &collect{})
+	c, err := send.Dial(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Send([]byte("q")); err != nil {
+		t.Fatal(err)
+	}
+	for sink.count() == 0 && time.Since(start) < time.Second {
+		recv.Poll()
+	}
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Errorf("scaled 1ms delivery took %v", el)
+	}
+}
+
+func TestPartitionScope(t *testing.T) {
+	f := NewFabric("scope")
+	cfg := fastCfg("mpl", ScopePartition)
+	a, da := initOn(t, f, cfg, 1, "p", "part0", &collect{})
+	_, db := initOn(t, f, cfg, 2, "p", "part0", &collect{})
+	_, dc := initOn(t, f, cfg, 3, "p", "part1", &collect{})
+
+	if !a.Applicable(db) {
+		t.Error("same partition not applicable")
+	}
+	if a.Applicable(dc) {
+		t.Error("cross-partition mpl applicable")
+	}
+	if _, err := a.Dial(dc); !errors.Is(err, transport.ErrNotApplicable) {
+		t.Errorf("Dial cross-partition err = %v", err)
+	}
+	_ = da
+}
+
+func TestGlobalScopeCrossesPartitions(t *testing.T) {
+	f := NewFabric("glob")
+	cfg := fastCfg("wan", ScopeGlobal)
+	a, _ := initOn(t, f, cfg, 1, "p", "part0", &collect{})
+	_, dc := initOn(t, f, cfg, 3, "q", "part1", &collect{})
+	if !a.Applicable(dc) {
+		t.Error("global method blocked across partitions/processes")
+	}
+}
+
+func TestProcessScope(t *testing.T) {
+	f := NewFabric("proc")
+	cfg := fastCfg("shm", ScopeProcess)
+	a, _ := initOn(t, f, cfg, 1, "p", "x", &collect{})
+	_, db := initOn(t, f, cfg, 2, "p", "y", &collect{})
+	_, dc := initOn(t, f, cfg, 3, "q", "x", &collect{})
+	if !a.Applicable(db) {
+		t.Error("same process, different partition should be applicable")
+	}
+	if a.Applicable(dc) {
+		t.Error("different process applicable")
+	}
+}
+
+func TestOrderingPreservedPerLink(t *testing.T) {
+	f := NewFabric("order")
+	cfg := fastCfg("mpl", ScopeGlobal)
+	cfg.BytesPerSec = 50e6
+	sink := &collect{}
+	recv, d := initOn(t, f, cfg, 1, "p", "a", sink)
+	send, _ := initOn(t, f, cfg, 2, "p", "a", &collect{})
+	c, err := send.Dial(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := c.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.count() < n && time.Now().Before(deadline) {
+		recv.Poll()
+	}
+	if sink.count() != n {
+		t.Fatalf("got %d frames", sink.count())
+	}
+	for i, fr := range sink.frames {
+		if fr[0] != byte(i) {
+			t.Fatalf("frame %d out of order: %d", i, fr[0])
+		}
+	}
+}
+
+func TestRegisteredMethods(t *testing.T) {
+	for _, name := range []string{"mpl", "myri", "atm", "wan"} {
+		if !transport.Default.Has(name) {
+			t.Errorf("method %q not registered", name)
+		}
+	}
+	// Parameters override defaults through the registry factory.
+	m, err := transport.Default.New("mpl", transport.Params{
+		"fabric": "custom", "latency": "1ms", "poll_cost": "5us", "bandwidth": "1000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := m.(*Module)
+	if sm.Config().Latency != time.Millisecond || sm.Config().PollCost != 5*time.Microsecond || sm.Config().BytesPerSec != 1000 {
+		t.Errorf("params not applied: %+v", sm.Config())
+	}
+}
+
+func TestDoubleInitAndLifecycle(t *testing.T) {
+	f := NewFabric("life")
+	m := New(f, fastCfg("mpl", ScopeGlobal))
+	env := transport.Env{Context: 1, Process: "p", Sink: &collect{}}
+	if _, err := m.Init(env); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Init(env); err == nil {
+		t.Error("double Init succeeded")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Poll(); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("Poll after Close: %v", err)
+	}
+	m2 := New(f, fastCfg("mpl", ScopeGlobal))
+	if _, err := m2.Init(env); err != nil {
+		t.Errorf("re-register after Close: %v", err)
+	}
+}
+
+func TestSendToDetachedContext(t *testing.T) {
+	f := NewFabric("detach")
+	cfg := fastCfg("mpl", ScopeGlobal)
+	a, _ := initOn(t, f, cfg, 1, "p", "x", &collect{})
+	b, db := initOn(t, f, cfg, 2, "p", "x", &collect{})
+	c, err := a.Dial(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if err := c.Send([]byte("x")); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("Send to detached context err = %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Params carries module configuration values, such as socket buffer sizes for
+// a TCP method or a loss rate for an unreliable method. The paper requires
+// that programmers be able to "manage low-level behavior by specifying values
+// for important parameters"; Params is the vehicle, populated from the
+// resource database, command-line flags, or program calls.
+type Params map[string]string
+
+// Get returns the raw value and whether it is present.
+func (p Params) Get(key string) (string, bool) {
+	v, ok := p[key]
+	return v, ok
+}
+
+// Str returns the value for key, or def if absent.
+func (p Params) Str(key, def string) string {
+	if v, ok := p[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Int returns the integer value for key, or def if absent or malformed.
+func (p Params) Int(key string, def int) int {
+	if v, ok := p[key]; ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// Float returns the float value for key, or def if absent or malformed.
+func (p Params) Float(key string, def float64) float64 {
+	if v, ok := p[key]; ok {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}
+
+// Bool returns the boolean value for key, or def if absent or malformed.
+func (p Params) Bool(key string, def bool) bool {
+	if v, ok := p[key]; ok {
+		if b, err := strconv.ParseBool(v); err == nil {
+			return b
+		}
+	}
+	return def
+}
+
+// Duration returns the duration value for key, or def if absent or malformed.
+func (p Params) Duration(key string, def time.Duration) time.Duration {
+	if v, ok := p[key]; ok {
+		if d, err := time.ParseDuration(v); err == nil {
+			return d
+		}
+	}
+	return def
+}
+
+// Clone returns a copy of the parameter set.
+func (p Params) Clone() Params {
+	c := make(Params, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+// Merge returns a copy of p overlaid with the entries of o.
+func (p Params) Merge(o Params) Params {
+	c := p.Clone()
+	for k, v := range o {
+		c[k] = v
+	}
+	return c
+}
+
+func (p Params) String() string { return fmt.Sprintf("%v", map[string]string(p)) }

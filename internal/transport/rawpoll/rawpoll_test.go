@@ -1,0 +1,224 @@
+package rawpoll
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func tcpPair(t *testing.T) (client, server *net.TCPConn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			close(done)
+			return
+		}
+		done <- c
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := <-done
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return c.(*net.TCPConn), s.(*net.TCPConn)
+}
+
+func TestReadAvailableData(t *testing.T) {
+	client, server := tcpPair(t)
+	rd, err := NewReader(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n, err := rd.Read(buf)
+		if n > 0 {
+			if string(buf[:n]) != "ping" {
+				t.Fatalf("read %q", buf[:n])
+			}
+			return
+		}
+		if !errors.Is(err, ErrWouldBlock) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("data never became readable")
+		}
+	}
+}
+
+func TestReadEmptyWouldBlock(t *testing.T) {
+	_, server := tcpPair(t)
+	rd, err := NewReader(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := rd.Read(make([]byte, 16)); n != 0 || !errors.Is(err, ErrWouldBlock) {
+		t.Errorf("Read on empty socket = %d, %v", n, err)
+	}
+}
+
+func TestReadEOF(t *testing.T) {
+	client, server := tcpPair(t)
+	rd, err := NewReader(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	buf := make([]byte, 16)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n, err := rd.Read(buf)
+		if err == io.EOF {
+			return
+		}
+		if n == 0 && !errors.Is(err, ErrWouldBlock) {
+			t.Fatalf("unexpected: n=%d err=%v", n, err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("EOF never observed")
+		}
+	}
+}
+
+func udpPair(t *testing.T) (sender *net.UDPConn, receiver *net.UDPConn) {
+	t.Helper()
+	r, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := net.DialUDP("udp", nil, r.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		r.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close(); r.Close() })
+	return s, r
+}
+
+func TestReadFromDatagram(t *testing.T) {
+	sender, receiver := udpPair(t)
+	rd, err := NewReader(receiver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sender.Write([]byte("dgram")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n, from, err := rd.ReadFrom(buf)
+		if n > 0 {
+			if string(buf[:n]) != "dgram" {
+				t.Fatalf("payload %q", buf[:n])
+			}
+			if from == nil {
+				t.Fatal("no source address")
+			}
+			want := sender.LocalAddr().(*net.UDPAddr)
+			if from.Port != want.Port {
+				t.Fatalf("source %v, want port %d", from, want.Port)
+			}
+			return
+		}
+		if !errors.Is(err, ErrWouldBlock) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("datagram never became readable")
+		}
+	}
+}
+
+func TestReadFromEmptyWouldBlock(t *testing.T) {
+	_, receiver := udpPair(t)
+	rd, err := NewReader(receiver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, from, err := rd.ReadFrom(make([]byte, 16)); n != 0 || from != nil || !errors.Is(err, ErrWouldBlock) {
+		t.Errorf("ReadFrom on empty socket = %d, %v, %v", n, from, err)
+	}
+}
+
+func TestReadFromPreservesBoundaries(t *testing.T) {
+	sender, receiver := udpPair(t)
+	rd, err := NewReader(receiver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sender.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 64)
+	got := 0
+	deadline := time.Now().Add(2 * time.Second)
+	for got < 3 && time.Now().Before(deadline) {
+		n, _, err := rd.ReadFrom(buf)
+		if errors.Is(err, ErrWouldBlock) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 || buf[0] != byte(got) {
+			t.Fatalf("datagram %d: n=%d payload=%v", got, n, buf[:n])
+		}
+		got++
+	}
+	if got != 3 {
+		t.Fatalf("read %d/3 datagrams", got)
+	}
+}
+
+func BenchmarkReadWouldBlock(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			defer c.Close()
+			select {}
+		}
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	rd, err := NewReader(c.(*net.TCPConn))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rd.Read(buf); !errors.Is(err, ErrWouldBlock) {
+			b.Fatal(err)
+		}
+	}
+}

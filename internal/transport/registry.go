@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory constructs a fresh, uninitialized module instance. Each context
+// gets its own instances, so factories must not share mutable state between
+// the modules they create (shared fabrics, like the in-process exchange, are
+// fine — they are the medium, not the module).
+type Factory func(params Params) Module
+
+// Registry maps method names to module factories. It plays the role of the
+// paper's "default set of modules defined when the Nexus library is built"
+// plus dynamic loading: methods can be registered at init time or at runtime
+// before contexts are created.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]Factory)}
+}
+
+// Register adds a factory under the given method name, replacing any previous
+// registration for that name.
+func (r *Registry) Register(name string, f Factory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.factories[name] = f
+}
+
+// Unregister removes the named factory, reporting whether it was present.
+func (r *Registry) Unregister(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.factories[name]
+	delete(r.factories, name)
+	return ok
+}
+
+// New instantiates a module for the named method.
+func (r *Registry) New(name string, params Params) (Module, error) {
+	r.mu.RLock()
+	f, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no module registered for method %q", name)
+	}
+	return f(params), nil
+}
+
+// Has reports whether a factory is registered for the named method.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.factories[name]
+	return ok
+}
+
+// Names lists the registered method names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Default is the process-wide registry that standard modules register
+// themselves with from their init functions.
+var Default = NewRegistry()
+
+// Register adds a factory to the default registry.
+func Register(name string, f Factory) { Default.Register(name, f) }

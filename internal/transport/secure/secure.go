@@ -1,0 +1,204 @@
+// Package secure implements a security-enhanced communication module: an
+// AES-GCM encryption layer wrapped around any other registered method.
+//
+// The paper's §2 lists security as a method-selection axis: "control
+// information might be encrypted outside a site, but not within". Because
+// the wrapper is itself an ordinary module, a context can enable both "tcp"
+// and "secure" (over tcp) and associate the encrypted method with exactly
+// the links that leave the site — per-link security selection with no
+// application changes, and a working demonstration of composing protocol
+// layers inside the module framework (the x-kernel/Horus-style composition
+// discussed in §5).
+package secure
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"nexus/internal/transport"
+)
+
+// Name is the method name used in descriptors and resource strings.
+const Name = "secure"
+
+// Errors returned by the secure module.
+var (
+	// ErrNoKey reports a missing or malformed key parameter.
+	ErrNoKey = errors.New("secure: parameter \"key\" must be 16, 24, or 32 hex-encoded bytes")
+	// ErrDecrypt reports an inbound frame that failed authentication.
+	ErrDecrypt = errors.New("secure: frame failed authenticated decryption")
+)
+
+func init() {
+	transport.Register(Name, func(p transport.Params) transport.Module {
+		m, err := New(transport.Default, p)
+		if err != nil {
+			return &brokenModule{err: err}
+		}
+		return m
+	})
+}
+
+// brokenModule surfaces a construction error at Init time, since factories
+// cannot fail.
+type brokenModule struct{ err error }
+
+func (b *brokenModule) Name() string                                      { return Name }
+func (b *brokenModule) Init(transport.Env) (*transport.Descriptor, error) { return nil, b.err }
+func (b *brokenModule) Applicable(transport.Descriptor) bool              { return false }
+func (b *brokenModule) Dial(transport.Descriptor) (transport.Conn, error) {
+	return nil, b.err
+}
+func (b *brokenModule) Poll() (int, error) { return 0, b.err }
+func (b *brokenModule) Close() error       { return nil }
+
+// Module wraps an inner communication method with authenticated encryption.
+type Module struct {
+	inner     transport.Module
+	innerName string
+	aead      cipher.AEAD
+	noncePfx  [4]byte
+	seq       atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// New builds a secure module. Recognized parameters:
+//
+//	key   — hex-encoded 16/24/32-byte AES key, shared by both ends (required)
+//	inner — the wrapped method (default "tcp"); its own parameters are
+//	        passed through from the same parameter set
+func New(reg *transport.Registry, p transport.Params) (*Module, error) {
+	keyHex, ok := p.Get("key")
+	if !ok {
+		return nil, ErrNoKey
+	}
+	key, err := hex.DecodeString(keyHex)
+	if err != nil || (len(key) != 16 && len(key) != 24 && len(key) != 32) {
+		return nil, ErrNoKey
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("secure: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("secure: %w", err)
+	}
+	innerName := p.Str("inner", "tcp")
+	inner, err := reg.New(innerName, p)
+	if err != nil {
+		return nil, fmt.Errorf("secure: inner method: %w", err)
+	}
+	m := &Module{inner: inner, innerName: innerName, aead: aead}
+	if _, err := rand.Read(m.noncePfx[:]); err != nil {
+		return nil, fmt.Errorf("secure: nonce: %w", err)
+	}
+	return m, nil
+}
+
+// Name implements transport.Module.
+func (m *Module) Name() string { return Name }
+
+// Dropped reports how many inbound frames failed authentication (enquiry).
+func (m *Module) Dropped() uint64 { return m.dropped.Load() }
+
+// Init initializes the inner method with a decrypting sink and rewrites its
+// descriptor to advertise the secure method.
+func (m *Module) Init(env transport.Env) (*transport.Descriptor, error) {
+	outer := env.Sink
+	env.Sink = transport.SinkFunc(func(frame []byte) {
+		plain, err := m.open(frame)
+		if err != nil {
+			m.dropped.Add(1)
+			return
+		}
+		outer.Deliver(plain)
+	})
+	d, err := m.inner.Init(env)
+	if err != nil {
+		return nil, err
+	}
+	if d == nil {
+		return nil, nil
+	}
+	sd := d.Clone()
+	sd.Method = Name
+	if sd.Attrs == nil {
+		sd.Attrs = map[string]string{}
+	}
+	sd.Attrs["inner"] = m.innerName
+	return &sd, nil
+}
+
+// unwrap converts a secure descriptor back to the inner method's form.
+func (m *Module) unwrap(remote transport.Descriptor) (transport.Descriptor, bool) {
+	if remote.Method != Name || remote.Attr("inner") != m.innerName {
+		return transport.Descriptor{}, false
+	}
+	d := remote.Clone()
+	d.Method = m.innerName
+	delete(d.Attrs, "inner")
+	return d, true
+}
+
+// Applicable defers to the inner method on the unwrapped descriptor.
+func (m *Module) Applicable(remote transport.Descriptor) bool {
+	d, ok := m.unwrap(remote)
+	return ok && m.inner.Applicable(d)
+}
+
+// Dial opens an encrypting connection over the inner method.
+func (m *Module) Dial(remote transport.Descriptor) (transport.Conn, error) {
+	d, ok := m.unwrap(remote)
+	if !ok {
+		return nil, transport.ErrNotApplicable
+	}
+	c, err := m.inner.Dial(d)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{m: m, inner: c}, nil
+}
+
+// Poll polls the inner method; decryption happens in the sink.
+func (m *Module) Poll() (int, error) { return m.inner.Poll() }
+
+// Close closes the inner method.
+func (m *Module) Close() error { return m.inner.Close() }
+
+// seal encrypts and authenticates a frame: 12-byte nonce || ciphertext.
+func (m *Module) seal(plain []byte) []byte {
+	var nonce [12]byte
+	copy(nonce[:4], m.noncePfx[:])
+	binary.BigEndian.PutUint64(nonce[4:], m.seq.Add(1))
+	out := make([]byte, 12, 12+len(plain)+m.aead.Overhead())
+	copy(out, nonce[:])
+	return m.aead.Seal(out, nonce[:], plain, nil)
+}
+
+// open reverses seal.
+func (m *Module) open(frame []byte) ([]byte, error) {
+	if len(frame) < 12+m.aead.Overhead() {
+		return nil, ErrDecrypt
+	}
+	plain, err := m.aead.Open(nil, frame[:12], frame[12:], nil)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return plain, nil
+}
+
+type conn struct {
+	m     *Module
+	inner transport.Conn
+}
+
+func (c *conn) Send(frame []byte) error { return c.inner.Send(c.m.seal(frame)) }
+func (c *conn) Method() string          { return Name }
+func (c *conn) Close() error            { return c.inner.Close() }

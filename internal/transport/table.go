@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nexus/internal/buffer"
+)
+
+// Table is an ordered communication descriptor table. The order encodes
+// selection preference: automatic selection scans the table in order and uses
+// the first applicable method, so placing the fastest method first yields the
+// paper's "fastest first" policy. Users influence selection by reordering,
+// adding, or deleting entries.
+type Table struct {
+	Entries []Descriptor
+}
+
+// NewTable returns a table over the given descriptors, in order.
+func NewTable(entries ...Descriptor) *Table {
+	return &Table{Entries: entries}
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := &Table{Entries: make([]Descriptor, len(t.Entries))}
+	for i, e := range t.Entries {
+		c.Entries[i] = e.Clone()
+	}
+	return c
+}
+
+// Len reports the number of descriptors.
+func (t *Table) Len() int { return len(t.Entries) }
+
+// Find returns the first descriptor for the named method and whether one
+// exists.
+func (t *Table) Find(method string) (Descriptor, bool) {
+	for _, e := range t.Entries {
+		if e.Method == method {
+			return e, true
+		}
+	}
+	return Descriptor{}, false
+}
+
+// Add appends a descriptor to the end of the table (lowest preference).
+func (t *Table) Add(d Descriptor) { t.Entries = append(t.Entries, d) }
+
+// Remove deletes every descriptor for the named method, reporting whether any
+// was removed.
+func (t *Table) Remove(method string) bool {
+	kept := t.Entries[:0]
+	removed := false
+	for _, e := range t.Entries {
+		if e.Method == method {
+			removed = true
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.Entries = kept
+	return removed
+}
+
+// Promote moves the first descriptor for the named method to the front of the
+// table (highest preference), reporting whether the method was present.
+func (t *Table) Promote(method string) bool {
+	for i, e := range t.Entries {
+		if e.Method == method {
+			copy(t.Entries[1:i+1], t.Entries[:i])
+			t.Entries[0] = e
+			return true
+		}
+	}
+	return false
+}
+
+// Reorder rearranges the table so that methods appear in the given order;
+// methods not named keep their relative order after the named ones. Unknown
+// names are ignored.
+func (t *Table) Reorder(methods ...string) {
+	rank := make(map[string]int, len(methods))
+	for i, m := range methods {
+		rank[m] = i
+	}
+	sort.SliceStable(t.Entries, func(i, j int) bool {
+		ri, iok := rank[t.Entries[i].Method]
+		rj, jok := rank[t.Entries[j].Method]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		default:
+			return false
+		}
+	})
+}
+
+// Methods lists the method names in table order.
+func (t *Table) Methods() []string {
+	out := make([]string, len(t.Entries))
+	for i, e := range t.Entries {
+		out[i] = e.Method
+	}
+	return out
+}
+
+func (t *Table) String() string {
+	return "[" + strings.Join(t.Methods(), ",") + "]"
+}
+
+// Encode packs the table into the buffer. The encoding is the mobile
+// representation that travels with a startpoint: for wide-area links the few
+// tens of bytes are insignificant, and tightly coupled configurations can
+// omit the table entirely (see core's lightweight startpoints).
+func (t *Table) Encode(b *buffer.Buffer) {
+	b.PutUint16(uint16(len(t.Entries)))
+	for _, e := range t.Entries {
+		b.PutString(e.Method)
+		b.PutUint64(uint64(e.Context))
+		b.PutUint16(uint16(len(e.Attrs)))
+		// Deterministic attribute order keeps encodings comparable.
+		keys := make([]string, 0, len(e.Attrs))
+		for k := range e.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b.PutString(k)
+			b.PutString(e.Attrs[k])
+		}
+	}
+}
+
+// DecodeTable unpacks a table encoded with Encode.
+func DecodeTable(b *buffer.Buffer) (*Table, error) {
+	n := int(b.Uint16())
+	if err := b.Err(); err != nil {
+		return nil, fmt.Errorf("transport: decoding table: %w", err)
+	}
+	t := &Table{Entries: make([]Descriptor, 0, n)}
+	for i := 0; i < n; i++ {
+		d := Descriptor{
+			Method:  b.String(),
+			Context: ContextID(b.Uint64()),
+		}
+		na := int(b.Uint16())
+		if err := b.Err(); err != nil {
+			return nil, fmt.Errorf("transport: decoding table entry %d: %w", i, err)
+		}
+		if na > 0 {
+			d.Attrs = make(map[string]string, na)
+			for j := 0; j < na; j++ {
+				k := b.String()
+				v := b.String()
+				d.Attrs[k] = v
+			}
+		}
+		if err := b.Err(); err != nil {
+			return nil, fmt.Errorf("transport: decoding table entry %d attrs: %w", i, err)
+		}
+		t.Entries = append(t.Entries, d)
+	}
+	return t, nil
+}
+
+// Equal reports whether two tables hold identical descriptors in the same
+// order.
+func (t *Table) Equal(o *Table) bool {
+	if len(t.Entries) != len(o.Entries) {
+		return false
+	}
+	for i := range t.Entries {
+		if !t.Entries[i].Equal(o.Entries[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nexus/internal/buffer"
+)
+
+func newEncodeBuffer() *buffer.Buffer { return buffer.New(128) }
+
+func decodeBuffer(b *buffer.Buffer) (*buffer.Buffer, error) {
+	return buffer.FromBytes(b.Encode())
+}
+
+// TestPropertyTableOperations drives random sequences of user table edits
+// (Add, Remove, Promote, Reorder) and checks the invariants selection relies
+// on: no entry duplication beyond what was added, Promote preserves the
+// entry set, Remove removes exactly the named method, and the encoding
+// round-trips after every operation.
+func TestPropertyTableOperations(t *testing.T) {
+	methods := []string{"mpl", "tcp", "udp", "atm", "myri"}
+	f := func(ops []uint8, args []uint8) bool {
+		tab := NewTable(
+			Descriptor{Method: "mpl", Context: 1},
+			Descriptor{Method: "tcp", Context: 1, Attrs: map[string]string{"addr": "a"}},
+		)
+		count := func(m string) int {
+			n := 0
+			for _, e := range tab.Entries {
+				if e.Method == m {
+					n++
+				}
+			}
+			return n
+		}
+		for i, op := range ops {
+			arg := "mpl"
+			if i < len(args) {
+				arg = methods[int(args[i])%len(methods)]
+			}
+			before := tab.Len()
+			beforeCount := count(arg)
+			switch op % 4 {
+			case 0:
+				tab.Add(Descriptor{Method: arg, Context: 1})
+				if tab.Len() != before+1 || count(arg) != beforeCount+1 {
+					return false
+				}
+			case 1:
+				removed := tab.Remove(arg)
+				if removed != (beforeCount > 0) {
+					return false
+				}
+				if count(arg) != 0 || tab.Len() != before-beforeCount {
+					return false
+				}
+			case 2:
+				promoted := tab.Promote(arg)
+				if promoted != (beforeCount > 0) {
+					return false
+				}
+				if tab.Len() != before || count(arg) != beforeCount {
+					return false
+				}
+				if promoted && tab.Entries[0].Method != arg {
+					return false
+				}
+			case 3:
+				tab.Reorder(arg)
+				if tab.Len() != before || count(arg) != beforeCount {
+					return false
+				}
+				if beforeCount > 0 && tab.Entries[0].Method != arg {
+					return false
+				}
+			}
+			// The table must stay encodable and round-trip exactly.
+			b := newEncodeBuffer()
+			tab.Encode(b)
+			dec, err := decodeBuffer(b)
+			if err != nil {
+				return false
+			}
+			got, err := DecodeTable(dec)
+			if err != nil || !tab.Equal(got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

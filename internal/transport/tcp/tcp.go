@@ -1,0 +1,392 @@
+// Package tcp implements the TCP/IP communication module.
+//
+// TCP is the paper's "expensive but universal" method: it reaches any
+// context with IP connectivity, but detecting inbound traffic requires a
+// select-like readiness scan whose cost dwarfs that of specialized methods.
+// This module reproduces both detection strategies discussed in the paper:
+//
+//   - poll mode (default): Poll performs a non-blocking readiness check on
+//     every inbound connection (a read with an immediate deadline — the Go
+//     equivalent of select). The per-poll cost grows with connection count
+//     and is orders of magnitude more expensive than an inproc poll, which is
+//     exactly the asymmetry that motivates skip_poll.
+//   - blocking mode: a goroutine per connection blocks in read and delivers
+//     frames directly to the sink (the paper's AIX 4.1 blocking-thread
+//     refinement); Poll then has nothing to do.
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"nexus/internal/transport"
+	"nexus/internal/transport/rawpoll"
+	"nexus/internal/wire"
+)
+
+// Name is the method name used in descriptors and resource strings.
+const Name = "tcp"
+
+func init() {
+	transport.Register(Name, func(p transport.Params) transport.Module { return New(p) })
+}
+
+// Module is a TCP communication method instance.
+type Module struct {
+	params   transport.Params
+	listen   string
+	nodelay  bool
+	sndbuf   int
+	rcvbuf   int
+	blocking bool
+
+	mu       sync.Mutex
+	env      transport.Env
+	ln       net.Listener
+	inbound  []*inConn
+	inited   bool
+	closed   bool
+	acceptWG sync.WaitGroup
+	readWG   sync.WaitGroup
+}
+
+// New returns an uninitialized TCP module. Recognized parameters:
+//
+//	listen  — listen address (default "127.0.0.1:0")
+//	nodelay — set TCP_NODELAY on connections (default true)
+//	sndbuf  — socket send buffer size in bytes (0 = OS default)
+//	rcvbuf  — socket receive buffer size in bytes (0 = OS default)
+//	mode    — "poll" (default) or "block"
+func New(p transport.Params) *Module {
+	if p == nil {
+		p = transport.Params{}
+	}
+	return &Module{
+		params:   p,
+		listen:   p.Str("listen", "127.0.0.1:0"),
+		nodelay:  p.Bool("nodelay", true),
+		sndbuf:   p.Int("sndbuf", 0),
+		rcvbuf:   p.Int("rcvbuf", 0),
+		blocking: p.Str("mode", "poll") == "block",
+	}
+}
+
+// Name implements transport.Module.
+func (m *Module) Name() string { return Name }
+
+// Init starts the listener and the accept loop.
+func (m *Module) Init(env transport.Env) (*transport.Descriptor, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.inited {
+		return nil, fmt.Errorf("tcp: double Init for context %d", env.Context)
+	}
+	ln, err := net.Listen("tcp", m.listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen: %w", err)
+	}
+	m.env = env
+	m.ln = ln
+	m.inited = true
+	m.acceptWG.Add(1)
+	go m.acceptLoop(ln)
+	return &transport.Descriptor{
+		Method:  Name,
+		Context: env.Context,
+		Attrs:   map[string]string{"addr": ln.Addr().String()},
+	}, nil
+}
+
+func (m *Module) acceptLoop(ln net.Listener) {
+	defer m.acceptWG.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.tune(c)
+		ic := &inConn{c: c}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			c.Close()
+			return
+		}
+		m.inbound = append(m.inbound, ic)
+		blocking, sink := m.blocking, m.env.Sink
+		m.mu.Unlock()
+		if blocking {
+			m.readWG.Add(1)
+			go m.blockingReader(ic, sink)
+		}
+	}
+}
+
+func (m *Module) tune(c net.Conn) {
+	tc, ok := c.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	_ = tc.SetNoDelay(m.nodelay)
+	if m.sndbuf > 0 {
+		_ = tc.SetWriteBuffer(m.sndbuf)
+	}
+	if m.rcvbuf > 0 {
+		_ = tc.SetReadBuffer(m.rcvbuf)
+	}
+}
+
+func (m *Module) blockingReader(ic *inConn, sink transport.Sink) {
+	defer m.readWG.Done()
+	sr := wire.NewStreamReader(ic.c)
+	for {
+		frame, err := sr.Next()
+		if err != nil {
+			ic.markDead()
+			return
+		}
+		sink.Deliver(frame)
+	}
+}
+
+// Applicable reports whether remote advertises a TCP address. TCP is the
+// universal fallback: any advertised address is assumed routable.
+func (m *Module) Applicable(remote transport.Descriptor) bool {
+	return remote.Method == Name && remote.Attr("addr") != ""
+}
+
+// Dial opens a TCP connection to the remote context.
+func (m *Module) Dial(remote transport.Descriptor) (transport.Conn, error) {
+	m.mu.Lock()
+	inited, closed := m.inited, m.closed
+	m.mu.Unlock()
+	if !inited {
+		return nil, transport.ErrNotInitialized
+	}
+	if closed {
+		return nil, transport.ErrClosed
+	}
+	if !m.Applicable(remote) {
+		return nil, transport.ErrNotApplicable
+	}
+	c, err := net.DialTimeout("tcp", remote.Attr("addr"), 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: dial %s: %w", remote.Attr("addr"), err)
+	}
+	m.tune(c)
+	return &outConn{c: c}, nil
+}
+
+// Poll performs one readiness scan over all inbound connections, delivering
+// any complete frames. In blocking mode it returns immediately.
+func (m *Module) Poll() (int, error) {
+	m.mu.Lock()
+	if !m.inited {
+		m.mu.Unlock()
+		return 0, transport.ErrNotInitialized
+	}
+	if m.closed {
+		m.mu.Unlock()
+		return 0, transport.ErrClosed
+	}
+	if m.blocking {
+		m.mu.Unlock()
+		return 0, nil
+	}
+	conns := make([]*inConn, len(m.inbound))
+	copy(conns, m.inbound)
+	sink := m.env.Sink
+	m.mu.Unlock()
+
+	total := 0
+	anyDead := false
+	for _, ic := range conns {
+		n := ic.poll(sink)
+		total += n
+		if ic.dead() {
+			anyDead = true
+		}
+	}
+	if anyDead {
+		m.reap()
+	}
+	return total, nil
+}
+
+func (m *Module) reap() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kept := m.inbound[:0]
+	for _, ic := range m.inbound {
+		if ic.dead() {
+			ic.c.Close()
+			continue
+		}
+		kept = append(kept, ic)
+	}
+	m.inbound = kept
+}
+
+// PollCostHint implements transport.CostHinter: a readiness scan costs on the
+// order of a system call per connection, far above an in-memory queue check.
+func (m *Module) PollCostHint() time.Duration { return 100 * time.Microsecond }
+
+// StartBlocking implements transport.Blocker: switches inbound detection to
+// per-connection blocked reader goroutines. Connections accepted so far get
+// readers; subsequent accepts start theirs automatically.
+func (m *Module) StartBlocking() error {
+	m.mu.Lock()
+	if !m.inited {
+		m.mu.Unlock()
+		return transport.ErrNotInitialized
+	}
+	if m.blocking {
+		m.mu.Unlock()
+		return nil
+	}
+	m.blocking = true
+	conns := make([]*inConn, len(m.inbound))
+	copy(conns, m.inbound)
+	sink := m.env.Sink
+	m.mu.Unlock()
+	for _, ic := range conns {
+		m.readWG.Add(1)
+		go m.blockingReader(ic, sink)
+	}
+	return nil
+}
+
+// StopBlocking implements transport.Blocker. Readers exit when their
+// connections close; new inbound connections go back to poll mode.
+func (m *Module) StopBlocking() {
+	m.mu.Lock()
+	m.blocking = false
+	m.mu.Unlock()
+}
+
+// Close shuts the listener and all inbound connections down.
+func (m *Module) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	ln := m.ln
+	conns := m.inbound
+	m.inbound = nil
+	m.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, ic := range conns {
+		ic.c.Close()
+	}
+	m.acceptWG.Wait()
+	m.readWG.Wait()
+	return nil
+}
+
+// inConn is an inbound connection with incremental frame-reassembly state for
+// poll mode.
+type inConn struct {
+	c net.Conn
+
+	mu      sync.Mutex
+	rd      *rawpoll.Reader
+	buf     []byte // accumulated unparsed bytes
+	scratch []byte
+	isDead  bool
+}
+
+func (ic *inConn) markDead() {
+	ic.mu.Lock()
+	ic.isDead = true
+	ic.mu.Unlock()
+}
+
+func (ic *inConn) dead() bool {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return ic.isDead
+}
+
+// poll performs one non-blocking read and delivers every complete frame
+// reassembled so far.
+func (ic *inConn) poll(sink transport.Sink) int {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if ic.isDead {
+		return 0
+	}
+	if ic.scratch == nil {
+		ic.scratch = make([]byte, 64<<10)
+	}
+	if ic.rd == nil {
+		sc, ok := ic.c.(syscall.Conn)
+		if !ok {
+			ic.isDead = true
+			return 0
+		}
+		rd, err := rawpoll.NewReader(sc)
+		if err != nil {
+			ic.isDead = true
+			return 0
+		}
+		ic.rd = rd
+	}
+	n, err := ic.rd.Read(ic.scratch)
+	if n > 0 {
+		ic.buf = append(ic.buf, ic.scratch[:n]...)
+	}
+	if err != nil && !errors.Is(err, rawpoll.ErrWouldBlock) {
+		ic.isDead = true
+	}
+	return ic.extract(sink)
+}
+
+func (ic *inConn) extract(sink transport.Sink) int {
+	delivered := 0
+	for {
+		if len(ic.buf) < 4 {
+			break
+		}
+		size := int(uint32(ic.buf[0])<<24 | uint32(ic.buf[1])<<16 | uint32(ic.buf[2])<<8 | uint32(ic.buf[3]))
+		if size > wire.MaxPayload+4096 {
+			ic.isDead = true
+			break
+		}
+		if len(ic.buf) < 4+size {
+			break
+		}
+		frame := make([]byte, size)
+		copy(frame, ic.buf[4:4+size])
+		ic.buf = ic.buf[4+size:]
+		sink.Deliver(frame)
+		delivered++
+	}
+	if len(ic.buf) == 0 {
+		ic.buf = nil
+	}
+	return delivered
+}
+
+// outConn is an outbound connection; Send is serialized by a mutex so that
+// concurrent RSRs interleave at frame granularity.
+type outConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (oc *outConn) Send(frame []byte) error {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return wire.WriteFrame(oc.c, frame)
+}
+
+func (oc *outConn) Method() string { return Name }
+func (oc *outConn) Close() error   { return oc.c.Close() }

@@ -1,0 +1,169 @@
+// Package transport defines the communication-module interface of the
+// multimethod communication architecture.
+//
+// A communication method (TCP, UDP, intra-process shared memory, a simulated
+// MPL fabric, ...) is implemented by a Module. Each context instantiates its
+// own module instances; a module advertises how the context can be reached by
+// that method with a Descriptor, and descriptors are grouped into an ordered
+// Table that travels with every startpoint. The Table is the paper's
+// "communication descriptor table": a concise, easily communicated
+// representation of information about communication methods, whose order
+// encodes selection preference ("fastest first").
+//
+// In the original Nexus the module interface was a C function table; in Go it
+// is simply an interface, with optional capabilities (blocking detection,
+// poll-cost hints) discovered by interface assertion.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ContextID uniquely identifies a context (an address space / virtual
+// processor) within a computation.
+type ContextID uint64
+
+// Descriptor describes how a specific context can be reached via a specific
+// communication method. Attrs are method-specific: a TCP descriptor carries a
+// listen address, an MPL descriptor a partition name and node number, and so
+// on. Descriptors are value types and are safe to copy.
+type Descriptor struct {
+	// Method is the module name, e.g. "tcp".
+	Method string
+	// Context is the context the descriptor reaches.
+	Context ContextID
+	// Attrs holds method-specific reachability attributes.
+	Attrs map[string]string
+}
+
+// Attr returns the named attribute, or "" if absent.
+func (d Descriptor) Attr(key string) string { return d.Attrs[key] }
+
+// Clone returns a deep copy of the descriptor.
+func (d Descriptor) Clone() Descriptor {
+	c := Descriptor{Method: d.Method, Context: d.Context}
+	if d.Attrs != nil {
+		c.Attrs = make(map[string]string, len(d.Attrs))
+		for k, v := range d.Attrs {
+			c.Attrs[k] = v
+		}
+	}
+	return c
+}
+
+// Equal reports whether two descriptors are identical.
+func (d Descriptor) Equal(o Descriptor) bool {
+	if d.Method != o.Method || d.Context != o.Context || len(d.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for k, v := range d.Attrs {
+		if o.Attrs[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (d Descriptor) String() string {
+	return fmt.Sprintf("%s->ctx%d%v", d.Method, d.Context, d.Attrs)
+}
+
+// Sink receives inbound frames delivered by a module. Frames are opaque to
+// the transport layer; the core's wire format lives above it.
+type Sink interface {
+	// Deliver hands one inbound frame to the context. Implementations take
+	// ownership of the slice. Deliver must be safe for concurrent use: a
+	// blocking-mode module calls it from its own goroutine.
+	Deliver(frame []byte)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(frame []byte)
+
+// Deliver calls f(frame).
+func (f SinkFunc) Deliver(frame []byte) { f(frame) }
+
+// Env is the environment a module is initialized with: the identity of its
+// context, topology attributes used by applicability rules, configuration
+// parameters, and the sink inbound frames are delivered to.
+type Env struct {
+	// Context is the hosting context's id.
+	Context ContextID
+	// Process identifies the OS process instance; modules whose methods only
+	// work within one process (inproc, local) compare it.
+	Process string
+	// Partition names the partition the context belongs to; partition-scoped
+	// methods (the simulated MPL fabric) compare it.
+	Partition string
+	// Params holds module configuration (socket buffer sizes, loss rates...).
+	Params Params
+	// Sink receives inbound frames.
+	Sink Sink
+}
+
+// Conn is an active connection — the paper's "communication object". A Conn
+// is created by selecting a method and dialing its descriptor; it is shared
+// among all startpoints in a context that reference the same remote context
+// with the same method.
+type Conn interface {
+	// Send transmits one frame. Send must be safe for concurrent use.
+	Send(frame []byte) error
+	// Method reports the module name that produced this connection.
+	Method() string
+	// Close releases the connection.
+	Close() error
+}
+
+// Module implements a communication method. A Module instance belongs to a
+// single context and is not shared.
+type Module interface {
+	// Name reports the method name used in descriptors and resource strings.
+	Name() string
+	// Init binds the module to its context. The returned descriptor
+	// advertises how other contexts reach this context by this method; a nil
+	// descriptor (with nil error) means the context cannot receive by this
+	// method, but may still dial out.
+	Init(env Env) (*Descriptor, error)
+	// Applicable reports whether this module can be used to send to remote.
+	// It is the method-specific half of the paper's selection rule: a method
+	// is applicable if supported by both contexts and if module criteria
+	// (same partition, same process, ...) hold.
+	Applicable(remote Descriptor) bool
+	// Dial opens a communication object to the remote context.
+	Dial(remote Descriptor) (Conn, error)
+	// Poll checks once for pending inbound communication, delivering any
+	// complete frames to the environment's sink. It returns the number of
+	// frames delivered. Poll is called from the context's polling loop and
+	// need not be safe for concurrent use with itself.
+	Poll() (int, error)
+	// Close shuts the module down and releases its resources.
+	Close() error
+}
+
+// Blocker is an optional capability: a module that can detect inbound
+// communication with a blocked thread instead of polling (the paper's AIX 4.1
+// refinement). StartBlocking launches the module's own detection goroutine;
+// after it returns, the polling loop may skip this module entirely.
+type Blocker interface {
+	StartBlocking() error
+	StopBlocking()
+}
+
+// CostHinter is an optional capability: a module that advertises its
+// approximate poll cost so the context can derive skip_poll defaults
+// automatically (the paper's "adaptive adjustment" future work).
+type CostHinter interface {
+	PollCostHint() time.Duration
+}
+
+// Errors shared by module implementations.
+var (
+	// ErrNotApplicable reports a Dial on a descriptor the module cannot reach.
+	ErrNotApplicable = errors.New("transport: descriptor not applicable to this module")
+	// ErrClosed reports use of a closed module or connection.
+	ErrClosed = errors.New("transport: closed")
+	// ErrNotInitialized reports use of a module before Init.
+	ErrNotInitialized = errors.New("transport: module not initialized")
+)

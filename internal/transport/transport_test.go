@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nexus/internal/buffer"
+)
+
+func td(method string, ctx ContextID, attrs map[string]string) Descriptor {
+	return Descriptor{Method: method, Context: ctx, Attrs: attrs}
+}
+
+func TestDescriptorCloneIndependent(t *testing.T) {
+	d := td("tcp", 3, map[string]string{"addr": "127.0.0.1:0"})
+	c := d.Clone()
+	c.Attrs["addr"] = "changed"
+	if d.Attrs["addr"] != "127.0.0.1:0" {
+		t.Error("Clone shares attrs map")
+	}
+	if !d.Equal(d.Clone()) {
+		t.Error("descriptor not equal to its clone")
+	}
+}
+
+func TestDescriptorEqual(t *testing.T) {
+	a := td("tcp", 1, map[string]string{"x": "1"})
+	cases := []struct {
+		b    Descriptor
+		want bool
+	}{
+		{td("tcp", 1, map[string]string{"x": "1"}), true},
+		{td("udp", 1, map[string]string{"x": "1"}), false},
+		{td("tcp", 2, map[string]string{"x": "1"}), false},
+		{td("tcp", 1, map[string]string{"x": "2"}), false},
+		{td("tcp", 1, map[string]string{"x": "1", "y": "2"}), false},
+		{td("tcp", 1, nil), false},
+	}
+	for i, c := range cases {
+		if got := a.Equal(c.b); got != c.want {
+			t.Errorf("case %d: Equal = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestTableFindPromoteRemove(t *testing.T) {
+	tab := NewTable(
+		td("mpl", 1, map[string]string{"partition": "p0"}),
+		td("tcp", 1, map[string]string{"addr": "a"}),
+		td("udp", 1, nil),
+	)
+	if got := tab.Methods(); !reflect.DeepEqual(got, []string{"mpl", "tcp", "udp"}) {
+		t.Fatalf("Methods = %v", got)
+	}
+	if _, ok := tab.Find("tcp"); !ok {
+		t.Error("Find(tcp) failed")
+	}
+	if _, ok := tab.Find("atm"); ok {
+		t.Error("Find(atm) should fail")
+	}
+	if !tab.Promote("udp") {
+		t.Error("Promote(udp) = false")
+	}
+	if got := tab.Methods(); !reflect.DeepEqual(got, []string{"udp", "mpl", "tcp"}) {
+		t.Errorf("after Promote: %v", got)
+	}
+	if tab.Promote("nope") {
+		t.Error("Promote of missing method = true")
+	}
+	if !tab.Remove("mpl") {
+		t.Error("Remove(mpl) = false")
+	}
+	if got := tab.Methods(); !reflect.DeepEqual(got, []string{"udp", "tcp"}) {
+		t.Errorf("after Remove: %v", got)
+	}
+	if tab.Remove("mpl") {
+		t.Error("second Remove(mpl) = true")
+	}
+}
+
+func TestTableReorder(t *testing.T) {
+	tab := NewTable(td("a", 1, nil), td("b", 1, nil), td("c", 1, nil), td("d", 1, nil))
+	tab.Reorder("c", "a")
+	if got := tab.Methods(); !reflect.DeepEqual(got, []string{"c", "a", "b", "d"}) {
+		t.Errorf("Reorder = %v, want [c a b d]", got)
+	}
+	tab.Reorder("zzz") // unknown name: no effect
+	if got := tab.Methods(); !reflect.DeepEqual(got, []string{"c", "a", "b", "d"}) {
+		t.Errorf("Reorder(zzz) changed order: %v", got)
+	}
+}
+
+func TestTableEncodeDecodeRoundTrip(t *testing.T) {
+	tab := NewTable(
+		td("mpl", 7, map[string]string{"partition": "p1", "node": "3"}),
+		td("tcp", 7, map[string]string{"addr": "127.0.0.1:9999"}),
+		td("local", 7, nil),
+	)
+	b := buffer.New(128)
+	tab.Encode(b)
+	d, err := buffer.FromBytes(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Equal(got) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, tab)
+	}
+}
+
+func TestDecodeTableTruncated(t *testing.T) {
+	tab := NewTable(td("tcp", 1, map[string]string{"addr": "x"}))
+	b := buffer.New(64)
+	tab.Encode(b)
+	enc := b.Encode()
+	for cut := 1; cut < len(enc)-1; cut++ {
+		d, err := buffer.FromBytes(enc[:cut])
+		if err != nil {
+			continue // cut the format tag itself
+		}
+		if _, err := DecodeTable(d); err == nil && cut < len(enc)-1 {
+			// Some prefixes decode to an empty/partial table legitimately
+			// only when the count field says zero; with one entry any
+			// truncation must error.
+			t.Errorf("DecodeTable of %d/%d bytes succeeded", cut, len(enc))
+		}
+	}
+}
+
+// Property: encode→decode is the identity for arbitrary attribute maps.
+func TestPropertyTableRoundTrip(t *testing.T) {
+	f := func(method string, ctx uint64, attrs map[string]string) bool {
+		tab := NewTable(td(method, ContextID(ctx), attrs))
+		b := buffer.New(64)
+		tab.Encode(b)
+		d, err := buffer.FromBytes(b.Encode())
+		if err != nil {
+			return false
+		}
+		got, err := DecodeTable(d)
+		if err != nil {
+			return false
+		}
+		return tab.Equal(got)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParams(t *testing.T) {
+	p := Params{
+		"n":    "42",
+		"f":    "2.5",
+		"b":    "true",
+		"d":    "150ms",
+		"s":    "hello",
+		"badn": "xyz",
+	}
+	if got := p.Int("n", 0); got != 42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := p.Int("badn", 7); got != 7 {
+		t.Errorf("Int(malformed) = %d, want default", got)
+	}
+	if got := p.Int("missing", 9); got != 9 {
+		t.Errorf("Int(missing) = %d, want default", got)
+	}
+	if got := p.Float("f", 0); got != 2.5 {
+		t.Errorf("Float = %v", got)
+	}
+	if got := p.Bool("b", false); !got {
+		t.Error("Bool = false")
+	}
+	if got := p.Duration("d", 0); got != 150*time.Millisecond {
+		t.Errorf("Duration = %v", got)
+	}
+	if got := p.Str("s", ""); got != "hello" {
+		t.Errorf("Str = %q", got)
+	}
+	if _, ok := p.Get("missing"); ok {
+		t.Error("Get(missing) ok = true")
+	}
+}
+
+func TestParamsCloneMerge(t *testing.T) {
+	p := Params{"a": "1"}
+	c := p.Clone()
+	c["a"] = "2"
+	if p["a"] != "1" {
+		t.Error("Clone shares storage")
+	}
+	m := p.Merge(Params{"b": "3", "a": "9"})
+	if m["a"] != "9" || m["b"] != "3" || p["a"] != "1" {
+		t.Errorf("Merge = %v (p = %v)", m, p)
+	}
+}
+
+type fakeModule struct{ name string }
+
+func (m *fakeModule) Name() string                  { return m.name }
+func (m *fakeModule) Init(Env) (*Descriptor, error) { return nil, nil }
+func (m *fakeModule) Applicable(Descriptor) bool    { return false }
+func (m *fakeModule) Dial(Descriptor) (Conn, error) { return nil, ErrNotApplicable }
+func (m *fakeModule) Poll() (int, error)            { return 0, nil }
+func (m *fakeModule) Close() error                  { return nil }
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if r.Has("x") {
+		t.Error("empty registry Has(x)")
+	}
+	r.Register("x", func(Params) Module { return &fakeModule{name: "x"} })
+	r.Register("a", func(Params) Module { return &fakeModule{name: "a"} })
+	if !r.Has("x") {
+		t.Error("Has(x) = false after Register")
+	}
+	m, err := r.New("x", nil)
+	if err != nil || m.Name() != "x" {
+		t.Errorf("New(x) = %v, %v", m, err)
+	}
+	if _, err := r.New("missing", nil); err == nil {
+		t.Error("New(missing) succeeded")
+	}
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"a", "x"}) {
+		t.Errorf("Names = %v", got)
+	}
+	if !r.Unregister("a") {
+		t.Error("Unregister(a) = false")
+	}
+	if r.Unregister("a") {
+		t.Error("second Unregister(a) = true")
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	var got []byte
+	s := SinkFunc(func(f []byte) { got = f })
+	s.Deliver([]byte{1, 2})
+	if len(got) != 2 {
+		t.Errorf("SinkFunc did not deliver: %v", got)
+	}
+}

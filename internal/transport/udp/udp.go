@@ -1,0 +1,218 @@
+// Package udp implements the unreliable datagram communication module.
+//
+// The paper lists UDP among the specialized protocols that collaborative and
+// streaming applications select for data that tolerates loss (shared-state
+// updates, video frames) in exchange for lower latency and no head-of-line
+// blocking. Each frame travels as one datagram; frames larger than a
+// datagram are rejected rather than fragmented, and delivery is not
+// guaranteed. An optional loss parameter injects deterministic artificial
+// drop for failure-injection tests.
+package udp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"nexus/internal/transport"
+	"nexus/internal/transport/rawpoll"
+)
+
+// Name is the method name used in descriptors and resource strings.
+const Name = "udp"
+
+// MaxDatagram is the largest frame the module will send (a safe UDP payload
+// bound below the 64 KiB datagram limit).
+const MaxDatagram = 60 << 10
+
+// ErrTooLarge reports a frame that does not fit in a single datagram.
+var ErrTooLarge = errors.New("udp: frame exceeds datagram size")
+
+func init() {
+	transport.Register(Name, func(p transport.Params) transport.Module { return New(p) })
+}
+
+// Module is a UDP communication method instance.
+type Module struct {
+	listen string
+	loss   float64
+	seed   int64
+
+	mu     sync.Mutex
+	env    transport.Env
+	pc     *net.UDPConn
+	rd     *rawpoll.Reader
+	inited bool
+	closed bool
+
+	scratch []byte
+}
+
+// New returns an uninitialized UDP module. Recognized parameters:
+//
+//	listen — listen address (default "127.0.0.1:0")
+//	loss   — probability in [0,1] of silently dropping an outbound frame
+//	seed   — RNG seed for deterministic loss injection (default 1)
+func New(p transport.Params) *Module {
+	if p == nil {
+		p = transport.Params{}
+	}
+	return &Module{
+		listen: p.Str("listen", "127.0.0.1:0"),
+		loss:   p.Float("loss", 0),
+		seed:   int64(p.Int("seed", 1)),
+	}
+}
+
+// Name implements transport.Module.
+func (m *Module) Name() string { return Name }
+
+// Init binds the datagram socket.
+func (m *Module) Init(env transport.Env) (*transport.Descriptor, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.inited {
+		return nil, fmt.Errorf("udp: double Init for context %d", env.Context)
+	}
+	addr, err := net.ResolveUDPAddr("udp", m.listen)
+	if err != nil {
+		return nil, fmt.Errorf("udp: resolve %s: %w", m.listen, err)
+	}
+	pc, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udp: listen: %w", err)
+	}
+	rd, err := rawpoll.NewReader(pc)
+	if err != nil {
+		pc.Close()
+		return nil, fmt.Errorf("udp: raw reader: %w", err)
+	}
+	m.env = env
+	m.pc = pc
+	m.rd = rd
+	m.inited = true
+	m.scratch = make([]byte, 64<<10)
+	return &transport.Descriptor{
+		Method:  Name,
+		Context: env.Context,
+		Attrs:   map[string]string{"addr": pc.LocalAddr().String()},
+	}, nil
+}
+
+// Applicable reports whether remote advertises a UDP address.
+func (m *Module) Applicable(remote transport.Descriptor) bool {
+	return remote.Method == Name && remote.Attr("addr") != ""
+}
+
+// Dial opens an unreliable connection to the remote context.
+func (m *Module) Dial(remote transport.Descriptor) (transport.Conn, error) {
+	m.mu.Lock()
+	inited, closed := m.inited, m.closed
+	m.mu.Unlock()
+	if !inited {
+		return nil, transport.ErrNotInitialized
+	}
+	if closed {
+		return nil, transport.ErrClosed
+	}
+	if !m.Applicable(remote) {
+		return nil, transport.ErrNotApplicable
+	}
+	addr, err := net.ResolveUDPAddr("udp", remote.Attr("addr"))
+	if err != nil {
+		return nil, fmt.Errorf("udp: resolve %s: %w", remote.Attr("addr"), err)
+	}
+	c, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return nil, fmt.Errorf("udp: dial %s: %w", addr, err)
+	}
+	oc := &conn{c: c}
+	if m.loss > 0 {
+		oc.loss = m.loss
+		oc.rng = rand.New(rand.NewSource(m.seed))
+	}
+	return oc, nil
+}
+
+// Poll drains every datagram currently queued on the socket.
+func (m *Module) Poll() (int, error) {
+	m.mu.Lock()
+	if !m.inited {
+		m.mu.Unlock()
+		return 0, transport.ErrNotInitialized
+	}
+	if m.closed {
+		m.mu.Unlock()
+		return 0, transport.ErrClosed
+	}
+	rd, sink, scratch := m.rd, m.env.Sink, m.scratch
+	m.mu.Unlock()
+
+	delivered := 0
+	for {
+		n, err := rd.Read(scratch)
+		if n > 0 {
+			frame := make([]byte, n)
+			copy(frame, scratch[:n])
+			sink.Deliver(frame)
+			delivered++
+			continue
+		}
+		if errors.Is(err, rawpoll.ErrWouldBlock) || err == nil {
+			return delivered, nil
+		}
+		if m.isClosed() {
+			return delivered, transport.ErrClosed
+		}
+		return delivered, err
+	}
+}
+
+func (m *Module) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// PollCostHint implements transport.CostHinter.
+func (m *Module) PollCostHint() time.Duration { return 50 * time.Microsecond }
+
+// Close releases the socket.
+func (m *Module) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	if m.pc != nil {
+		return m.pc.Close()
+	}
+	return nil
+}
+
+type conn struct {
+	mu   sync.Mutex
+	c    *net.UDPConn
+	loss float64
+	rng  *rand.Rand
+}
+
+func (c *conn) Send(frame []byte) error {
+	if len(frame) > MaxDatagram {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(frame))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng != nil && c.rng.Float64() < c.loss {
+		return nil // dropped: unreliable delivery is part of the contract
+	}
+	_, err := c.c.Write(frame)
+	return err
+}
+
+func (c *conn) Method() string { return Name }
+func (c *conn) Close() error   { return c.c.Close() }

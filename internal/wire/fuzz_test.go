@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks that Decode never panics on arbitrary input and that
+// anything it accepts re-encodes to the same bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add(sample().Encode())
+	f.Add([]byte{})
+	f.Add([]byte{magic, version, TypeRSR})
+	f.Add((&Frame{Type: TypeForward, Handler: "h", Payload: []byte{1}}).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(fr.Encode(), data) {
+			t.Errorf("accepted frame does not round-trip: % x", data)
+		}
+	})
+}
+
+// FuzzReadFrame checks the stream framer against arbitrary byte streams.
+func FuzzReadFrame(f *testing.F) {
+	var good bytes.Buffer
+	_ = WriteFrame(&good, sample().Encode())
+	f.Add(good.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr := NewStreamReader(bytes.NewReader(data))
+		for i := 0; i < 4; i++ {
+			frame, err := sr.Next()
+			if err != nil {
+				return
+			}
+			if len(frame) > len(data) {
+				t.Errorf("frame longer than input: %d > %d", len(frame), len(data))
+			}
+		}
+	})
+}

@@ -1,0 +1,190 @@
+// Package wire defines the frame format carried by every communication
+// module.
+//
+// A frame is the on-the-wire form of a remote service request: it names the
+// destination context and endpoint, the handler to invoke, and carries the
+// packed argument buffer. The header is fixed big-endian regardless of the
+// payload buffer's format tag, so that any two contexts can parse each
+// other's headers. Transports treat frames as opaque byte slices; this
+// package is the contract between the core on both sides of a link.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types.
+const (
+	// TypeRSR is a remote service request frame.
+	TypeRSR = byte(1)
+	// TypeForward wraps an RSR frame relayed through a forwarding context;
+	// the payload is the original encoded frame.
+	TypeForward = byte(2)
+	// TypeControl carries core-internal control traffic (e.g. barrier or
+	// shutdown coordination in the cluster bootstrap).
+	TypeControl = byte(3)
+)
+
+const (
+	magic   = byte('N')
+	version = byte(1)
+
+	// headerFixed is the size of the fixed part of the header:
+	// magic, version, type, destCtx(8), destEP(8), srcCtx(8), handlerLen(2).
+	headerFixed = 3 + 8 + 8 + 8 + 2
+
+	// MaxHandlerLen bounds handler-name length on the wire.
+	MaxHandlerLen = 1 << 12
+	// MaxPayload bounds a frame's payload size (64 MiB); a guard against
+	// corrupt length prefixes on stream transports.
+	MaxPayload = 64 << 20
+)
+
+// Errors returned by frame decoding.
+var (
+	ErrShortFrame = errors.New("wire: truncated frame")
+	ErrBadMagic   = errors.New("wire: bad magic byte")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrOversize   = errors.New("wire: frame exceeds size limits")
+)
+
+// Frame is a decoded message frame.
+type Frame struct {
+	// Type discriminates RSR, forwarded, and control frames.
+	Type byte
+	// DestContext is the context the frame must be delivered to. A
+	// forwarding context uses it to route frames not addressed to itself.
+	DestContext uint64
+	// DestEndpoint identifies the endpoint within the destination context.
+	DestEndpoint uint64
+	// SrcContext identifies the sending context.
+	SrcContext uint64
+	// Handler names the remote handler to invoke.
+	Handler string
+	// Payload is the encoded argument buffer (see internal/buffer).
+	Payload []byte
+}
+
+// EncodedLen reports the number of bytes Encode will produce.
+func (f *Frame) EncodedLen() int {
+	return headerFixed + len(f.Handler) + 4 + len(f.Payload)
+}
+
+// Encode serializes the frame.
+func (f *Frame) Encode() []byte {
+	out := make([]byte, f.EncodedLen())
+	f.EncodeTo(out)
+	return out
+}
+
+// EncodeTo serializes the frame into dst, which must have length at least
+// EncodedLen. It returns the number of bytes written.
+func (f *Frame) EncodeTo(dst []byte) int {
+	dst[0] = magic
+	dst[1] = version
+	dst[2] = f.Type
+	binary.BigEndian.PutUint64(dst[3:], f.DestContext)
+	binary.BigEndian.PutUint64(dst[11:], f.DestEndpoint)
+	binary.BigEndian.PutUint64(dst[19:], f.SrcContext)
+	binary.BigEndian.PutUint16(dst[27:], uint16(len(f.Handler)))
+	n := headerFixed
+	n += copy(dst[n:], f.Handler)
+	binary.BigEndian.PutUint32(dst[n:], uint32(len(f.Payload)))
+	n += 4
+	n += copy(dst[n:], f.Payload)
+	return n
+}
+
+// Decode parses an encoded frame. The returned frame's Payload aliases p.
+func Decode(p []byte) (*Frame, error) {
+	if len(p) < headerFixed+4 {
+		return nil, ErrShortFrame
+	}
+	if p[0] != magic {
+		return nil, ErrBadMagic
+	}
+	if p[1] != version {
+		return nil, ErrBadVersion
+	}
+	f := &Frame{
+		Type:         p[2],
+		DestContext:  binary.BigEndian.Uint64(p[3:]),
+		DestEndpoint: binary.BigEndian.Uint64(p[11:]),
+		SrcContext:   binary.BigEndian.Uint64(p[19:]),
+	}
+	hl := int(binary.BigEndian.Uint16(p[27:]))
+	if hl > MaxHandlerLen {
+		return nil, ErrOversize
+	}
+	n := headerFixed
+	if len(p) < n+hl+4 {
+		return nil, ErrShortFrame
+	}
+	f.Handler = string(p[n : n+hl])
+	n += hl
+	pl := int(binary.BigEndian.Uint32(p[n:]))
+	if pl > MaxPayload {
+		return nil, ErrOversize
+	}
+	n += 4
+	if len(p) < n+pl {
+		return nil, ErrShortFrame
+	}
+	f.Payload = p[n : n+pl]
+	if len(p) != n+pl {
+		return nil, fmt.Errorf("wire: %d trailing bytes after frame", len(p)-n-pl)
+	}
+	return f, nil
+}
+
+// WriteFrame writes a length-prefixed encoded frame to a stream transport.
+func WriteFrame(w io.Writer, encoded []byte) error {
+	if len(encoded) > MaxPayload+headerFixed+MaxHandlerLen+4 {
+		return ErrOversize
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(encoded)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(encoded)
+	return err
+}
+
+// ReadFrame reads one length-prefixed encoded frame from a stream transport.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > MaxPayload+headerFixed+MaxHandlerLen+4 {
+		return nil, ErrOversize
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// StreamReader incrementally reads length-prefixed frames from a buffered
+// stream, for use by poll-driven stream transports.
+type StreamReader struct {
+	br *bufio.Reader
+}
+
+// NewStreamReader wraps r.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{br: bufio.NewReader(r)}
+}
+
+// Next reads the next frame. It blocks until a full frame arrives, the
+// stream errors, or EOF.
+func (s *StreamReader) Next() ([]byte, error) {
+	return ReadFrame(s.br)
+}

@@ -1,0 +1,258 @@
+// Package nexus is a Go implementation of the multimethod communication
+// architecture of Foster, Geisler, Kesselman and Tuecke, "Multimethod
+// Communication for High-Performance Metacomputing Applications"
+// (Supercomputing '96) — the communication core of the Nexus runtime system.
+//
+// Programs communicate through communication links: a Startpoint in one
+// context is bound to an Endpoint in another, and a single one-sided
+// operation — the remote service request (RSR) — moves a typed Buffer across
+// the link and invokes a handler at the far end. The method used for each
+// link (shared memory, TCP, UDP, a partition-scoped fabric, ...) is chosen
+// per link, automatically or manually, from the communication descriptor
+// table that travels with every startpoint; detection of incoming traffic
+// across all enabled methods is unified in one polling loop with per-method
+// skip_poll control, blocking-thread detection, and forwarding.
+//
+// This package is the public facade: it re-exports the core API
+// (internal/core), the typed buffers (internal/buffer), the transport
+// configuration types (internal/transport), single-process machine bootstrap
+// (internal/cluster), the mini-MPI layered on the core (internal/mpi), the
+// coupled-climate mini-app (internal/climate), and the resource database
+// (internal/resource).
+//
+// A minimal program:
+//
+//	ctx, _ := nexus.NewContext(nexus.Options{
+//		Methods: []nexus.MethodConfig{{Name: "tcp"}},
+//	})
+//	defer ctx.Close()
+//	ep := ctx.NewEndpoint(nexus.WithHandler(func(ep *nexus.Endpoint, b *nexus.Buffer) {
+//		fmt.Println("got:", b.String())
+//	}))
+//	sp := ep.NewStartpoint() // travels to other contexts inside RSRs
+//	b := nexus.NewBuffer(64)
+//	b.PutString("hello")
+//	_ = sp.RSR("", b)
+package nexus
+
+import (
+	"nexus/internal/buffer"
+	"nexus/internal/climate"
+	"nexus/internal/cluster"
+	"nexus/internal/core"
+	"nexus/internal/mpi"
+	"nexus/internal/names"
+	"nexus/internal/pipeline"
+	"nexus/internal/resource"
+	"nexus/internal/transport"
+
+	// Standard communication modules register themselves with the default
+	// registry when the facade is imported.
+	_ "nexus/internal/simnet"
+	_ "nexus/internal/transport/inproc"
+	_ "nexus/internal/transport/local"
+	_ "nexus/internal/transport/rudp"
+	_ "nexus/internal/transport/secure"
+	_ "nexus/internal/transport/tcp"
+	_ "nexus/internal/transport/udp"
+)
+
+// Core communication types (internal/core).
+type (
+	// Context is an address space hosting endpoints, handlers, and
+	// communication modules.
+	Context = core.Context
+	// Options configures a new context.
+	Options = core.Options
+	// MethodConfig enables one communication method in a context.
+	MethodConfig = core.MethodConfig
+	// Endpoint is the receiving end of a communication link.
+	Endpoint = core.Endpoint
+	// EndpointOption configures a new endpoint.
+	EndpointOption = core.EndpointOption
+	// Startpoint is the sending end of one or more communication links.
+	Startpoint = core.Startpoint
+	// HandlerFunc is invoked by incoming remote service requests.
+	HandlerFunc = core.HandlerFunc
+	// Selector chooses among applicable communication methods.
+	Selector = core.Selector
+	// MethodInfo is the per-method enquiry record.
+	MethodInfo = core.MethodInfo
+)
+
+// Core constructors, selection policies, and helpers.
+var (
+	// NewContext creates a context and initializes its modules.
+	NewContext = core.NewContext
+	// WithHandler sets an endpoint's default handler.
+	WithHandler = core.WithHandler
+	// WithData binds a local address (user data) to an endpoint.
+	WithData = core.WithData
+	// FirstApplicable is the paper's automatic selection rule.
+	FirstApplicable core.Selector = core.FirstApplicable
+	// CheapestPoll selects the applicable method with the lowest poll cost.
+	CheapestPoll core.Selector = core.CheapestPoll
+	// PreferOrder builds a programmer-directed selection policy.
+	PreferOrder = core.PreferOrder
+	// TransferStartpoint copies a startpoint into another context.
+	TransferStartpoint = core.TransferStartpoint
+	// RewriteForForwarder points a table's method entry at a forwarder.
+	RewriteForForwarder = core.RewriteForForwarder
+)
+
+// Core errors.
+var (
+	ErrClosed             = core.ErrClosed
+	ErrNoApplicableMethod = core.ErrNoApplicableMethod
+	ErrNoTable            = core.ErrNoTable
+	ErrUnknownHandler     = core.ErrUnknownHandler
+	ErrUnknownEndpoint    = core.ErrUnknownEndpoint
+	ErrUnknownMethod      = core.ErrUnknownMethod
+)
+
+// Typed message buffers (internal/buffer).
+type (
+	// Buffer is a typed pack/unpack message buffer.
+	Buffer = buffer.Buffer
+	// Format identifies a buffer's byte order.
+	Format = buffer.Format
+)
+
+// Buffer constructors.
+var (
+	// NewBuffer returns an empty buffer in native format.
+	NewBuffer = buffer.New
+	// BufferFromBytes wraps an encoded payload for unpacking.
+	BufferFromBytes = buffer.FromBytes
+)
+
+// Transport configuration types (internal/transport).
+type (
+	// Descriptor describes how a context is reached by one method.
+	Descriptor = transport.Descriptor
+	// DescriptorTable is the ordered communication descriptor table.
+	DescriptorTable = transport.Table
+	// Params carries module configuration values.
+	Params = transport.Params
+	// ContextID identifies a context within a computation.
+	ContextID = transport.ContextID
+	// Module is the communication-method interface; register custom
+	// methods with RegisterModule.
+	Module = transport.Module
+	// ModuleFactory constructs module instances for a registry.
+	ModuleFactory = transport.Factory
+	// ModuleEnv is the environment a module is initialized with.
+	ModuleEnv = transport.Env
+	// ModuleConn is an active connection (the paper's communication object).
+	ModuleConn = transport.Conn
+	// FrameSink receives a module's inbound frames.
+	FrameSink = transport.Sink
+)
+
+// RegisterModule adds a custom communication method to the default registry
+// (the paper's dynamic module loading).
+var RegisterModule = transport.Register
+
+// Machine bootstrap (internal/cluster).
+type (
+	// Machine is a running set of contexts with exchanged tables.
+	Machine = cluster.Machine
+	// MachineConfig describes a machine.
+	MachineConfig = cluster.Config
+	// NodeSpec describes one node of a machine.
+	NodeSpec = cluster.NodeSpec
+)
+
+var (
+	// NewMachine boots a machine.
+	NewMachine = cluster.New
+	// UniformMachine returns n identical nodes in one partition.
+	UniformMachine = cluster.Uniform
+	// TwoPartitionMachine mirrors the paper's case-study layout.
+	TwoPartitionMachine = cluster.TwoPartition
+)
+
+// Mini-MPI layered on the core (internal/mpi).
+type (
+	// World is an MPI job spanning a machine.
+	World = mpi.World
+	// Comm is one rank's communicator handle.
+	Comm = mpi.Comm
+	// Message is a received MPI message.
+	Message = mpi.Message
+	// ReduceOp is a reduction operator.
+	ReduceOp = mpi.Op
+)
+
+// MPI constructors, wildcards, and operators.
+var (
+	// NewWorld builds an MPI world over a machine.
+	NewWorld = mpi.New
+	// ReduceSum, ReduceMax, and ReduceMin are predefined operators.
+	ReduceSum = mpi.Sum
+	ReduceMax = mpi.Max
+	ReduceMin = mpi.Min
+)
+
+// MPI matching wildcards.
+const (
+	AnySource = mpi.AnySource
+	AnyTag    = mpi.AnyTag
+)
+
+// Coupled climate mini-app (internal/climate).
+type (
+	// ClimateConfig parameterises a coupled run.
+	ClimateConfig = climate.Config
+	// ClimateStats summarises a coupled run.
+	ClimateStats = climate.Stats
+)
+
+// RunClimate executes the coupled model over a world.
+var RunClimate = climate.Run
+
+// Name service (internal/names): startpoints as discoverable global names.
+type (
+	// NameServer hosts a name service in a context.
+	NameServer = names.Server
+	// NameClient talks to a name server from another context.
+	NameClient = names.Client
+)
+
+var (
+	// NewNameServer installs a name service in a context.
+	NewNameServer = names.NewServer
+	// NewNameClient builds a client for a server startpoint.
+	NewNameClient = names.NewClient
+	// ErrNameNotFound reports resolution of an unregistered name.
+	ErrNameNotFound = names.ErrNotFound
+	// ErrNameExists reports registration of a taken name.
+	ErrNameExists = names.ErrExists
+)
+
+// Image-processing pipeline mini-app (internal/pipeline).
+type (
+	// PipelineConfig parameterises a pipeline run.
+	PipelineConfig = pipeline.Config
+	// PipelineStats summarises a pipeline run.
+	PipelineStats = pipeline.Stats
+)
+
+var (
+	// RunPipeline drives the pipeline from rank 0 of a machine.
+	RunPipeline = pipeline.Run
+	// InstallPipelineWorker registers the tile-processing handler.
+	InstallPipelineWorker = pipeline.InstallWorker
+	// PipelineExpected computes a run's ground-truth checksum locally.
+	PipelineExpected = pipeline.Expected
+)
+
+// Resource database (internal/resource).
+type ResourceDatabase = resource.Database
+
+var (
+	// ParseMethodSpec parses "mpl,tcp:skip_poll=20"-style method specs.
+	ParseMethodSpec = resource.ParseSpec
+	// ParseResources parses a resource database.
+	ParseResources = resource.ParseString
+)
