@@ -1,0 +1,210 @@
+// Allocation-budget benchmarks for the RSR fast path.
+//
+// These benches pin the per-RSR allocation and copy budget on the three
+// transport tiers (local, inproc, TCP) plus a multicast fan-out, with
+// b.ReportAllocs on every one. EXPERIMENTS.md records the before/after
+// numbers; the alloc-regression tests in internal/core keep the budget from
+// silently regressing.
+//
+// Run with:
+//
+//	go test -bench=BenchmarkRSRAllocs -benchmem
+package nexus_test
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nexus"
+)
+
+// BenchmarkRSRAllocsLocal measures the intracontext RSR: send and synchronous
+// dispatch in one call, the floor every other path builds on.
+func BenchmarkRSRAllocsLocal(b *testing.B) {
+	ctx, err := nexus.NewContext(nexus.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ctx.Close()
+	var got atomic.Int64
+	ep := ctx.NewEndpoint(nexus.WithHandler(func(*nexus.Endpoint, *nexus.Buffer) { got.Add(1) }))
+	sp := ep.NewStartpoint()
+	payload := nexus.NewBuffer(64)
+	payload.PutRaw(make([]byte, 64))
+	if err := sp.RSR("", payload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sp.RSR("", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if got.Load() < int64(b.N) {
+		b.Fatalf("delivered %d of %d", got.Load(), b.N)
+	}
+}
+
+// BenchmarkRSRAllocsInproc measures the steady-state ping-pong over the
+// shared-memory method; the issue's budget target (≤2 allocs/op) applies
+// here. One op is a full roundtrip: two RSRs and two dispatches.
+func BenchmarkRSRAllocsInproc(b *testing.B) {
+	benchAllocsPingPong(b, []nexus.MethodConfig{{Name: "inproc"}})
+}
+
+// BenchmarkRSRAllocsTCP measures the steady-state ping-pong over real TCP
+// sockets in poll mode. One op is a full roundtrip.
+func BenchmarkRSRAllocsTCP(b *testing.B) {
+	benchAllocsPingPong(b, []nexus.MethodConfig{{Name: "tcp"}})
+}
+
+func benchAllocsPingPong(b *testing.B, methods []nexus.MethodConfig) {
+	mk := func() *nexus.Context {
+		c, err := nexus.NewContext(nexus.Options{Methods: methods})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	a, c := mk(), mk()
+	defer a.Close()
+	defer c.Close()
+
+	var aGot, cGot atomic.Int64
+	epA := a.NewEndpoint(nexus.WithHandler(func(*nexus.Endpoint, *nexus.Buffer) { aGot.Add(1) }))
+	epC := c.NewEndpoint(nexus.WithHandler(func(*nexus.Endpoint, *nexus.Buffer) { cGot.Add(1) }))
+	spToC, err := nexus.TransferStartpoint(epC.NewStartpoint(), a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spToA, err := nexus.TransferStartpoint(epA.NewStartpoint(), c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := nexus.NewBuffer(64)
+	payload.PutRaw(make([]byte, 64))
+
+	// Warm the connections and pools before measuring.
+	if err := spToC.RSR("", payload); err != nil {
+		b.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for cGot.Load() == 0 && time.Now().Before(deadline) {
+		c.Poll()
+	}
+	if cGot.Load() == 0 {
+		b.Fatal("warm-up RSR never arrived")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			for cGot.Load() < int64(i+2) {
+				if c.Poll() == 0 {
+					runtime.Gosched()
+				}
+			}
+			if err := spToA.RSR("", payload); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := spToC.RSR("", payload); err != nil {
+			b.Fatal(err)
+		}
+		for aGot.Load() < int64(i+1) {
+			if a.Poll() == 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+	b.StopTimer()
+	<-done
+}
+
+// BenchmarkRSRAllocsMulticast measures one RSR fanned out to 1 and 8 inproc
+// targets with a 4 KiB payload, including draining every receiver. The
+// acceptance target is that the payload is encoded exactly once regardless of
+// fan-out: B/op must not grow ~linearly with the target count on the send
+// side (the per-target transport handoff is pooled, not allocated).
+func BenchmarkRSRAllocsMulticast(b *testing.B) {
+	for _, fan := range []int{1, 8} {
+		b.Run("fan"+itoa(fan), func(b *testing.B) {
+			sender, err := nexus.NewContext(nexus.Options{Methods: []nexus.MethodConfig{{Name: "inproc"}}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sender.Close()
+			recvs := make([]*nexus.Context, fan)
+			counts := make([]*atomic.Int64, fan)
+			sps := make([]*nexus.Startpoint, fan)
+			for i := 0; i < fan; i++ {
+				recvs[i], err = nexus.NewContext(nexus.Options{Methods: []nexus.MethodConfig{{Name: "inproc"}}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer recvs[i].Close()
+				n := &atomic.Int64{}
+				counts[i] = n
+				ep := recvs[i].NewEndpoint(nexus.WithHandler(func(*nexus.Endpoint, *nexus.Buffer) { n.Add(1) }))
+				sps[i], err = nexus.TransferStartpoint(ep.NewStartpoint(), sender)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			sp := sps[0]
+			sp.Merge(sps[1:]...)
+			if _, err := sp.SelectMethod(); err != nil {
+				b.Fatal(err)
+			}
+			payload := nexus.NewBuffer(4096)
+			payload.PutRaw(make([]byte, 4096))
+			drain := func(upto int64) {
+				for i := range recvs {
+					for counts[i].Load() < upto {
+						if recvs[i].Poll() == 0 {
+							runtime.Gosched()
+						}
+					}
+				}
+			}
+			if err := sp.RSR("", payload); err != nil {
+				b.Fatal(err)
+			}
+			drain(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sp.RSR("", payload); err != nil {
+					b.Fatal(err)
+				}
+				drain(int64(i + 2))
+			}
+		})
+	}
+}
+
+// BenchmarkPollUntilSpin measures one pass of the PollUntil spin loop over an
+// idle context: the pred call, the (batched) deadline check, and one empty
+// poll pass. The deadline used to be re-read from the clock on every pass.
+func BenchmarkPollUntilSpin(b *testing.B) {
+	ctx, err := nexus.NewContext(nexus.Options{Methods: []nexus.MethodConfig{{Name: "inproc"}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ctx.Close()
+	b.ResetTimer()
+	n := 0
+	ok := ctx.PollUntil(func() bool { n++; return n > b.N }, time.Hour)
+	if !ok {
+		b.Fatal("PollUntil timed out")
+	}
+}

@@ -116,6 +116,20 @@ func (b *Buffer) Encode() []byte {
 	return out
 }
 
+// EncodedLen reports the number of bytes Encode/EncodeTo produce: the format
+// tag plus the packed payload.
+func (b *Buffer) EncodedLen() int { return 1 + len(b.data) }
+
+// EncodeTo writes the wire form of the buffer into dst, which must have
+// length at least EncodedLen, and returns the number of bytes written. This
+// is the fast-path alternative to Encode: the RSR sender lays the payload
+// straight into its (pooled) frame scratch, so a send costs exactly one
+// payload copy instead of an allocate-copy-copy chain.
+func (b *Buffer) EncodeTo(dst []byte) int {
+	dst[0] = byte(b.format)
+	return 1 + copy(dst[1:], b.data)
+}
+
 // Format reports the byte order of values in the buffer.
 func (b *Buffer) Format() Format { return b.format }
 

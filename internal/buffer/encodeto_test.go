@@ -1,0 +1,73 @@
+package buffer
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEncodeToMatchesEncode checks that the copy-free encode path fills a
+// caller-provided slice with exactly the bytes Encode allocates.
+func TestEncodeToMatchesEncode(t *testing.T) {
+	b := New(64)
+	b.PutInt64(-42)
+	b.PutString("hello")
+	b.PutBool(true)
+
+	want := b.Encode()
+	if got := b.EncodedLen(); got != len(want) {
+		t.Fatalf("EncodedLen = %d, Encode produced %d bytes", got, len(want))
+	}
+	dst := make([]byte, b.EncodedLen())
+	if n := b.EncodeTo(dst); n != len(want) {
+		t.Fatalf("EncodeTo wrote %d bytes, want %d", n, len(want))
+	}
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("EncodeTo produced %x, Encode produced %x", dst, want)
+	}
+
+	// The encoded form round-trips through FromBytes.
+	dec, err := FromBytes(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := dec.Int64(); v != -42 {
+		t.Errorf("Int64 = %d", v)
+	}
+	if s := dec.String(); s != "hello" {
+		t.Errorf("String = %q", s)
+	}
+	if !dec.Bool() {
+		t.Error("Bool = false")
+	}
+	if err := dec.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeToEmpty covers the degenerate frame: a lone format tag.
+func TestEncodeToEmpty(t *testing.T) {
+	b := New(0)
+	if b.EncodedLen() != 1 {
+		t.Fatalf("empty EncodedLen = %d", b.EncodedLen())
+	}
+	dst := make([]byte, 1)
+	if n := b.EncodeTo(dst); n != 1 {
+		t.Fatalf("EncodeTo = %d", n)
+	}
+	if dst[0] != byte(b.format) {
+		t.Errorf("format tag = %#x, want %#x", dst[0], byte(b.format))
+	}
+}
+
+// TestEncodeToAllocs pins the payload move at zero allocations.
+func TestEncodeToAllocs(t *testing.T) {
+	b := New(512)
+	b.PutBytes(make([]byte, 400))
+	dst := make([]byte, b.EncodedLen())
+	n := testing.AllocsPerRun(100, func() {
+		b.EncodeTo(dst)
+	})
+	if n != 0 {
+		t.Errorf("EncodeTo allocates %.1f per call, want 0", n)
+	}
+}

@@ -1,0 +1,84 @@
+// Package bufpool provides the size-classed byte-slice pool behind the RSR
+// fast path.
+//
+// Every hop of a remote service request used to allocate: the sender encoded
+// each frame into a fresh slice, queueing transports copied into fresh
+// slices, and the TCP module materialized every inbound frame with a fresh
+// make. This pool gives all of those sites recycled storage so the
+// steady-state send/receive path performs no per-message allocation at all.
+//
+// The pool stores raw array pointers rather than slice headers: a slice (or
+// *[]byte) placed into a sync.Pool forces a fresh heap allocation for the
+// header on every Put, which would put an allocation right back on the path
+// the pool exists to clear. unsafe.Pointer is pointer-shaped, so boxing it in
+// the pool's interface value is allocation-free, and the slice header is
+// rebuilt on Get with unsafe.Slice. Every pooled array is at least as large
+// as its size class, so reconstruction never over-extends an allocation.
+//
+// Ownership rules (see DESIGN.md "Fast-path allocation budget"):
+//
+//   - Get returns a slice of exactly the requested length whose contents are
+//     arbitrary; the caller owns it until it calls Put.
+//   - Put recycles a slice. The caller must not touch the slice afterwards.
+//     Putting a slice that did not come from Get is allowed (it joins the
+//     largest class its capacity covers); never Putting a slice is also
+//     allowed — the garbage collector reclaims it as usual.
+//   - A slice must be Put at most once. Double-Put hands the same storage to
+//     two future Get callers.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+	"unsafe"
+)
+
+// Size classes are powers of two from 1<<minShift to 1<<maxShift bytes.
+// Requests above the largest class are served by plain make and dropped on
+// Put: frames that large are dominated by the copy/syscall anyway, and
+// keeping multi-megabyte slabs alive in a pool is a memory-footprint hazard.
+const (
+	minShift = 6  // 64 B
+	maxShift = 20 // 1 MiB
+	nClasses = maxShift - minShift + 1
+)
+
+var classes [nClasses]sync.Pool
+
+// classFor returns the index of the smallest class able to hold n bytes
+// (n must be ≤ the largest class).
+func classFor(n int) int {
+	if n <= 1<<minShift {
+		return 0
+	}
+	return bits.Len(uint(n-1)) - minShift
+}
+
+// Get returns a slice of length n backed by pooled storage (capacity is the
+// full size class, at least n). The contents are arbitrary.
+func Get(n int) []byte {
+	if n > 1<<maxShift {
+		return make([]byte, n)
+	}
+	c := classFor(n)
+	size := 1 << (minShift + c)
+	p, _ := classes[c].Get().(unsafe.Pointer)
+	if p == nil {
+		return make([]byte, n, size)
+	}
+	return unsafe.Slice((*byte)(p), size)[:n]
+}
+
+// Put recycles a slice obtained from Get (or any slice the caller owns
+// outright). Slices with less capacity than the smallest class are dropped,
+// as are slices above the largest class.
+func Put(p []byte) {
+	n := cap(p)
+	if n < 1<<minShift || n > 1<<maxShift {
+		return
+	}
+	// File the slice under the largest class its capacity fully covers, so a
+	// future Get never receives less capacity than its class promises.
+	c := bits.Len(uint(n)) - 1 - minShift
+	classes[c].Put(unsafe.Pointer(&p[:n][0]))
+}

@@ -106,6 +106,16 @@ type Context struct {
 	errlog    func(error)
 	stats     *metrics.Set
 
+	// Hot-path counters, resolved once at construction. Set.Counter is a
+	// lock plus a map lookup; the RSR send/receive and poll paths hit these
+	// on every operation, so they keep direct pointers (the metrics package
+	// documents that returned pointers may be cached).
+	cRSRSent    *metrics.Counter
+	cRSRRecv    *metrics.Counter
+	cBytesSent  *metrics.Counter
+	cBytesRecv  *metrics.Counter
+	cPollPasses *metrics.Counter
+
 	mu         sync.RWMutex
 	modules    []*moduleState
 	byMethod   map[string]*moduleState
@@ -171,6 +181,11 @@ func NewContext(opts Options) (*Context, error) {
 		peerTables: make(map[transport.ContextID]*transport.Table),
 		advertised: transport.NewTable(),
 	}
+	c.cRSRSent = c.stats.Counter("rsr.sent")
+	c.cRSRRecv = c.stats.Counter("rsr.recv")
+	c.cBytesSent = c.stats.Counter("bytes.sent")
+	c.cBytesRecv = c.stats.Counter("bytes.recv")
+	c.cPollPasses = c.stats.Counter("poll.passes")
 	c.errlog = opts.ErrorLog
 	if c.errlog == nil {
 		dropped := c.stats.Counter("errors.dropped")
@@ -332,19 +347,23 @@ func (c *Context) PeerTable(id transport.ContextID) *transport.Table {
 }
 
 // dispatch decodes an inbound frame and routes it to a handler (or onward,
-// if this context is a forwarder).
+// if this context is a forwarder). dispatch borrows the frame: the caller
+// (the delivering module, or a local send) may recycle it as soon as
+// dispatch returns, so nothing here retains frame-aliasing storage — the
+// threaded mode clones the payload before handing it to the handler
+// goroutine, and non-threaded handlers run to completion inside this call.
 func (c *Context) dispatch(frame []byte) {
-	f, err := wire.Decode(frame)
-	if err != nil {
+	var f wire.Frame // stack-decoded: one frame arrives per delivery
+	if err := wire.DecodeInto(&f, frame); err != nil {
 		c.errlog(fmt.Errorf("core: context %d: bad frame: %w", c.id, err))
 		return
 	}
 	if f.DestContext != uint64(c.id) {
-		c.forward(f, frame)
+		c.forward(transport.ContextID(f.DestContext), frame)
 		return
 	}
-	c.stats.Counter("rsr.recv").Inc()
-	c.stats.Counter("bytes.recv").Add(uint64(len(frame)))
+	c.cRSRRecv.Inc()
+	c.cBytesRecv.Add(uint64(len(frame)))
 
 	c.mu.RLock()
 	ep := c.endpoints[f.DestEndpoint]
@@ -371,7 +390,7 @@ func (c *Context) dispatch(frame []byte) {
 		return
 	}
 	if c.threaded {
-		go fn(ep, b)
+		go fn(ep, b.Clone()) // the goroutine outlives the borrowed frame
 	} else {
 		fn(ep, b)
 	}

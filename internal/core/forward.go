@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"nexus/internal/transport"
-	"nexus/internal/wire"
 )
 
 // EnableForwarding turns the context into a forwarding processor: frames that
@@ -29,18 +28,18 @@ func (c *Context) ForwardingEnabled() bool {
 
 // forward relays a frame addressed to another context. The frame is re-sent
 // byte-for-byte: the wire header already carries the ultimate destination,
-// so no rewrapping is needed.
-func (c *Context) forward(f *wire.Frame, raw []byte) {
+// so no rewrapping is needed. Like dispatch, forward borrows raw — the
+// relaying Send completes before it returns.
+func (c *Context) forward(dest transport.ContextID, raw []byte) {
 	c.mu.RLock()
 	enabled := c.forwarder
 	c.mu.RUnlock()
 	if !enabled {
 		c.errlog(fmt.Errorf("core: context %d: frame for context %d dropped (forwarding disabled)",
-			c.id, f.DestContext))
+			c.id, dest))
 		c.stats.Counter("forward.dropped").Inc()
 		return
 	}
-	dest := transport.ContextID(f.DestContext)
 	table := c.PeerTable(dest)
 	if table == nil {
 		c.errlog(fmt.Errorf("core: forwarder %d: no route to context %d: %w", c.id, dest, ErrNoTable))

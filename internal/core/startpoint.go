@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"nexus/internal/buffer"
+	"nexus/internal/bufpool"
 	"nexus/internal/transport"
 	"nexus/internal/wire"
 )
@@ -66,22 +67,33 @@ func (sp *Startpoint) SetFailover(on bool) {
 
 // Merge adds the links of other startpoints to this one, turning it into a
 // multicast startpoint. Duplicate links are ignored.
+//
+// Each other startpoint is snapshotted under its own lock before sp's lock
+// is taken: holding both at once would order the locks sp→other here while a
+// concurrent other.Merge(sp) orders them other→sp — the classic deadlock.
 func (sp *Startpoint) Merge(others ...*Startpoint) {
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
+	var snap []*target
 	for _, o := range others {
+		if o == sp {
+			continue
+		}
 		o.mu.Lock()
 		for _, t := range o.targets {
-			if sp.hasTargetLocked(t.context, t.endpoint) {
-				continue
-			}
 			nt := &target{context: t.context, endpoint: t.endpoint}
 			if t.table != nil {
-				nt.table = t.table.Clone()
+				nt.table = t.table.Clone() // clone under o.mu: tables are live
 			}
-			sp.targets = append(sp.targets, nt)
+			snap = append(snap, nt)
 		}
 		o.mu.Unlock()
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for _, nt := range snap {
+		if sp.hasTargetLocked(nt.context, nt.endpoint) {
+			continue
+		}
+		sp.targets = append(sp.targets, nt)
 	}
 }
 
@@ -230,13 +242,7 @@ func (sp *Startpoint) bindTarget(t *target, method string, desc transport.Descri
 // frames have been handed to the selected communication methods; it does not
 // wait for remote execution.
 func (sp *Startpoint) RSR(handler string, b *buffer.Buffer) error {
-	var payload []byte
-	if b != nil {
-		payload = b.Encode()
-	} else {
-		payload = buffer.New(0).Encode()
-	}
-	err := sp.send(handler, payload)
+	err := sp.send(handler, b)
 	if err != nil {
 		return err
 	}
@@ -246,29 +252,43 @@ func (sp *Startpoint) RSR(handler string, b *buffer.Buffer) error {
 	return nil
 }
 
-func (sp *Startpoint) send(handler string, payload []byte) error {
+// send encodes the RSR frame exactly once into a pooled scratch slice and
+// re-addresses it in place per target (wire.PatchDest): header, handler, and
+// payload bytes are laid down a single time regardless of fan-out, and the
+// payload moves from the buffer into the frame with exactly one copy
+// (buffer.EncodeTo). Transports must not retain the frame after Send
+// returns (the transport.Conn contract), which is what makes both the
+// in-place patching and the scratch recycling sound.
+func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
 	if len(sp.targets) == 0 {
 		return fmt.Errorf("core: RSR on unbound startpoint")
 	}
-	sent := sp.owner.stats.Counter("rsr.sent")
-	bytesSent := sp.owner.stats.Counter("bytes.sent")
 	for _, t := range sp.targets {
 		if t.conn == nil {
 			if err := sp.selectTarget(t); err != nil {
 				return err
 			}
 		}
-		f := wire.Frame{
-			Type:         wire.TypeRSR,
-			DestContext:  uint64(t.context),
-			DestEndpoint: t.endpoint,
-			SrcContext:   uint64(sp.owner.id),
-			Handler:      handler,
-			Payload:      payload,
-		}
-		enc := f.Encode()
+	}
+	payloadLen := 1 // lone format tag for a nil buffer
+	if b != nil {
+		payloadLen = b.EncodedLen()
+	}
+	off := wire.HeaderLen(len(handler))
+	enc := bufpool.Get(off + payloadLen)
+	defer bufpool.Put(enc)
+	wire.EncodeHeader(enc, wire.TypeRSR,
+		uint64(sp.targets[0].context), sp.targets[0].endpoint, uint64(sp.owner.id),
+		handler, payloadLen)
+	if b != nil {
+		b.EncodeTo(enc[off:])
+	} else {
+		enc[off] = byte(buffer.NativeFormat)
+	}
+	for _, t := range sp.targets {
+		wire.PatchDest(enc, uint64(t.context), t.endpoint)
 		if err := t.conn.conn.Send(enc); err != nil {
 			if !sp.failover {
 				return fmt.Errorf("core: RSR via %s to context %d: %w", t.method, t.context, err)
@@ -277,8 +297,8 @@ func (sp *Startpoint) send(handler string, payload []byte) error {
 				return err
 			}
 		}
-		sent.Inc()
-		bytesSent.Add(uint64(len(enc)))
+		sp.owner.cRSRSent.Inc()
+		sp.owner.cBytesSent.Add(uint64(len(enc)))
 	}
 	return nil
 }

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"nexus/internal/bufpool"
 	"nexus/internal/transport"
 )
 
@@ -341,6 +342,7 @@ func (m *Module) Poll() (int, error) {
 	frames := box.ripe(time.Now(), batch)
 	for _, f := range frames {
 		sink.Deliver(f)
+		bufpool.Put(f) // Deliver borrows; the frame storage is ours again
 	}
 	return len(frames), nil
 }
@@ -404,7 +406,11 @@ func (c *conn) Send(frame []byte) error {
 	c.linkFree = start.Add(txScaled)
 	arrival := c.linkFree.Add(time.Duration(float64(c.cfg.Latency) / scale))
 	c.mu.Unlock()
-	box.push(arrival, frame)
+	// Send borrows frame, but the mailbox holds it until its modelled arrival,
+	// so copy into pooled storage; Poll recycles it after delivery.
+	cp := bufpool.Get(len(frame))
+	copy(cp, frame)
+	box.push(arrival, cp)
 	return nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"nexus/internal/bufpool"
 	"nexus/internal/transport"
 )
 
@@ -75,25 +76,28 @@ func (mb *mailbox) push(frame []byte) {
 	mb.mu.Unlock()
 }
 
-// pop removes up to max frames. A nil slice means the mailbox was empty.
-func (mb *mailbox) pop(max int) [][]byte {
+// pop moves up to max frames into dst (reusing its capacity) and returns the
+// filled slice. An empty result means the mailbox was empty.
+func (mb *mailbox) pop(dst [][]byte, max int) [][]byte {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	n := len(mb.queue) - mb.head
 	if n == 0 {
-		return nil
+		return dst[:0]
 	}
 	if n > max {
 		n = max
 	}
-	out := make([][]byte, n)
-	copy(out, mb.queue[mb.head:mb.head+n])
+	dst = append(dst[:0], mb.queue[mb.head:mb.head+n]...)
+	for i := mb.head; i < mb.head+n; i++ {
+		mb.queue[i] = nil // don't pin frame storage from the queue
+	}
 	mb.head += n
 	if mb.head == len(mb.queue) {
 		mb.queue = mb.queue[:0]
 		mb.head = 0
 	}
-	return out
+	return dst
 }
 
 func (e *Exchange) register(ctx transport.ContextID) (*mailbox, error) {
@@ -127,6 +131,7 @@ type Module struct {
 	box       *mailbox
 	pollBatch int
 	pollCost  time.Duration
+	scratch   [][]byte // pop destination, reused across Polls (Poll is not self-concurrent)
 	mu        sync.Mutex
 	closed    bool
 	inited    bool
@@ -229,11 +234,13 @@ func (m *Module) Poll() (int, error) {
 	if cost > 0 {
 		busyWait(cost)
 	}
-	frames := box.pop(batch)
-	for _, f := range frames {
+	m.scratch = box.pop(m.scratch, batch)
+	for i, f := range m.scratch {
 		sink.Deliver(f)
+		bufpool.Put(f) // Deliver borrows; the frame storage is ours again
+		m.scratch[i] = nil
 	}
-	return len(frames), nil
+	return len(m.scratch), nil
 }
 
 // PollCostHint implements transport.CostHinter when a synthetic poll cost is
@@ -278,7 +285,11 @@ func (c *conn) Send(frame []byte) error {
 		return fmt.Errorf("inproc: context %d not registered on exchange %q: %w",
 			c.dest, c.exchange.name, transport.ErrClosed)
 	}
-	box.push(frame)
+	// Send borrows frame, but the mailbox queues it past this call's return,
+	// so copy into pooled storage; Poll recycles it after delivery.
+	cp := bufpool.Get(len(frame))
+	copy(cp, frame)
+	box.push(cp)
 	return nil
 }
 

@@ -9,7 +9,7 @@ import (
 
 type collect struct{ frames [][]byte }
 
-func (c *collect) Deliver(f []byte) { c.frames = append(c.frames, f) }
+func (c *collect) Deliver(f []byte) { c.frames = append(c.frames, append([]byte(nil), f...)) }
 
 func TestLocalDelivery(t *testing.T) {
 	sink := &collect{}

@@ -21,7 +21,7 @@ type collect struct {
 
 func (c *collect) Deliver(f []byte) {
 	c.mu.Lock()
-	c.frames = append(c.frames, f)
+	c.frames = append(c.frames, append([]byte(nil), f...)) // Deliver borrows f
 	c.mu.Unlock()
 }
 

@@ -1,0 +1,133 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nexus/internal/transport"
+)
+
+// TestCoalescedWritesPreserveFrames hammers one outbound connection from many
+// goroutines so that the coalescing paths all trigger — the vectored
+// fast path, the pending queue, and multi-frame batch drains — and checks
+// that every frame arrives intact and that each sender's frames arrive in
+// the order it sent them.
+func TestCoalescedWritesPreserveFrames(t *testing.T) {
+	sink := &collect{}
+	recv, d := initModule(t, nil, 1, sink)
+	send, _ := initModule(t, nil, 2, &collect{})
+
+	c, err := send.Dial(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const senders = 8
+	const perSender = 200
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Vary sizes so batches mix small and large frames.
+			buf := make([]byte, 16+g*97)
+			for seq := 0; seq < perSender; seq++ {
+				binary.BigEndian.PutUint32(buf, uint32(g))
+				binary.BigEndian.PutUint32(buf[4:], uint32(seq))
+				for i := 8; i < len(buf); i++ {
+					buf[i] = byte(g)
+				}
+				if err := c.Send(buf); err != nil {
+					t.Errorf("sender %d seq %d: %v", g, seq, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	deadline := time.Now().Add(30 * time.Second)
+	for len(sink.snapshot()) < senders*perSender {
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d frames before deadline", len(sink.snapshot()), senders*perSender)
+		}
+		if _, err := recv.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+
+	lastSeq := map[uint32]int{}
+	counts := map[uint32]int{}
+	for _, f := range sink.snapshot() {
+		if len(f) < 8 {
+			t.Fatalf("runt frame: %d bytes", len(f))
+		}
+		g := binary.BigEndian.Uint32(f)
+		seq := int(binary.BigEndian.Uint32(f[4:]))
+		if want := 16 + int(g)*97; len(f) != want {
+			t.Fatalf("sender %d frame is %d bytes, want %d", g, len(f), want)
+		}
+		for i := 8; i < len(f); i++ {
+			if f[i] != byte(g) {
+				t.Fatalf("sender %d seq %d: corrupt byte %#x at %d", g, seq, f[i], i)
+			}
+		}
+		if last, ok := lastSeq[g]; ok && seq <= last {
+			t.Fatalf("sender %d: seq %d arrived after %d", g, seq, last)
+		}
+		lastSeq[g] = seq
+		counts[g]++
+	}
+	for g := uint32(0); g < senders; g++ {
+		if counts[g] != perSender {
+			t.Errorf("sender %d: %d frames arrived, want %d", g, counts[g], perSender)
+		}
+	}
+}
+
+// TestCoalescedWriteErrorSticky checks that a dead connection reports errors
+// to senders on both the fast and queued paths, and keeps reporting them.
+func TestCoalescedWriteErrorSticky(t *testing.T) {
+	sink := &collect{}
+	_, d := initModule(t, nil, 1, sink)
+	send, _ := initModule(t, nil, 2, &collect{})
+
+	c, err := send.Dial(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	var firstErr error
+	deadline := time.Now().Add(5 * time.Second)
+	for firstErr == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("send on closed connection never errored")
+		}
+		firstErr = c.Send([]byte("after-close"))
+	}
+	// Once an error surfaces it is sticky: every subsequent send fails fast.
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.Send([]byte(fmt.Sprintf("frame-%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("send %d after error returned nil", i)
+		}
+	}
+}
+
+var _ transport.Conn = (*outConn)(nil)

@@ -16,6 +16,7 @@
 package tcp
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -23,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"nexus/internal/bufpool"
 	"nexus/internal/transport"
 	"nexus/internal/transport/rawpoll"
 	"nexus/internal/wire"
@@ -150,6 +152,7 @@ func (m *Module) blockingReader(ic *inConn, sink transport.Sink) {
 			return
 		}
 		sink.Deliver(frame)
+		bufpool.Put(frame) // Deliver borrows; the frame is ours to recycle
 	}
 }
 
@@ -178,7 +181,7 @@ func (m *Module) Dial(remote transport.Descriptor) (transport.Conn, error) {
 		return nil, fmt.Errorf("tcp: dial %s: %w", remote.Attr("addr"), err)
 	}
 	m.tune(c)
-	return &outConn{c: c}, nil
+	return newOutConn(c), nil
 }
 
 // Poll performs one readiness scan over all inbound connections, delivering
@@ -351,41 +354,146 @@ func (ic *inConn) poll(sink transport.Sink) int {
 
 func (ic *inConn) extract(sink transport.Sink) int {
 	delivered := 0
+	consumed := 0
 	for {
-		if len(ic.buf) < 4 {
+		if len(ic.buf)-consumed < 4 {
 			break
 		}
-		size := int(uint32(ic.buf[0])<<24 | uint32(ic.buf[1])<<16 | uint32(ic.buf[2])<<8 | uint32(ic.buf[3]))
+		b := ic.buf[consumed:]
+		size := int(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
 		if size > wire.MaxPayload+4096 {
 			ic.isDead = true
 			break
 		}
-		if len(ic.buf) < 4+size {
+		if len(b) < 4+size {
 			break
 		}
-		frame := make([]byte, size)
-		copy(frame, ic.buf[4:4+size])
-		ic.buf = ic.buf[4+size:]
+		frame := bufpool.Get(size)
+		copy(frame, b[4:4+size])
+		consumed += 4 + size
 		sink.Deliver(frame)
+		bufpool.Put(frame)
 		delivered++
 	}
-	if len(ic.buf) == 0 {
-		ic.buf = nil
+	if consumed > 0 {
+		// Compact the consumed prefix out rather than re-slicing forward: the
+		// buffer keeps its capacity, so steady-state reassembly stops
+		// allocating once the buffer has grown to the connection's frame size.
+		n := copy(ic.buf, ic.buf[consumed:])
+		ic.buf = ic.buf[:n]
 	}
 	return delivered
 }
 
-// outConn is an outbound connection; Send is serialized by a mutex so that
-// concurrent RSRs interleave at frame granularity.
+// outConn is an outbound connection. Concurrent Sends interleave at frame
+// granularity, but instead of serializing whole write syscalls behind a
+// mutex, senders coalesce: the first sender becomes the writer and issues a
+// single vectored write (length prefix + frame, one writev instead of the
+// two write calls wire.WriteFrame used to make); senders that arrive while
+// a write is in flight append their length-prefixed frames to a pending
+// queue, and the writer drains that queue — one syscall per batch — before
+// retiring. Queue order is append order under oc.mu, so per-connection
+// frame ordering is preserved.
 type outConn struct {
-	mu sync.Mutex
-	c  net.Conn
+	c net.Conn
+
+	mu      sync.Mutex
+	flushed sync.Cond // broadcast after every drain pass and on error
+	writing bool      // a sender goroutine currently owns the socket
+	pending []byte    // length-prefixed frames queued behind the writer
+	queued  uint64    // cumulative bytes ever appended to pending
+	done    uint64    // cumulative pending bytes flushed (or abandoned)
+	err     error     // sticky first write error
+	hdr     [4]byte   // writer-owned length prefix for the vectored path
+	iov     net.Buffers
+}
+
+func newOutConn(c net.Conn) *outConn {
+	oc := &outConn{c: c}
+	oc.flushed.L = &oc.mu
+	return oc
 }
 
 func (oc *outConn) Send(frame []byte) error {
 	oc.mu.Lock()
-	defer oc.mu.Unlock()
-	return wire.WriteFrame(oc.c, frame)
+	if oc.err != nil {
+		err := oc.err
+		oc.mu.Unlock()
+		return err
+	}
+	if !oc.writing {
+		// Fast path: no write in flight. Claim the socket and write this
+		// frame with a single vectored syscall, borrowing the caller's
+		// slice (no copy). hdr/iov are owned by the writer, so mutating
+		// them after unlocking is safe.
+		oc.writing = true
+		binary.BigEndian.PutUint32(oc.hdr[:], uint32(len(frame)))
+		oc.iov = append(oc.iov[:0], oc.hdr[:], frame)
+		oc.mu.Unlock()
+		_, werr := oc.iov.WriteTo(oc.c)
+		oc.iov = oc.iov[:0] // drop the borrowed frame reference
+		oc.mu.Lock()
+		if werr != nil && oc.err == nil {
+			oc.err = werr
+		}
+		oc.drainLocked() // flush whatever queued up while we wrote
+		oc.mu.Unlock()
+		return werr
+	}
+	// Slow path: a write is in flight. Queue the frame (copying — the
+	// caller reclaims its slice when Send returns) and wait until the
+	// writer has flushed it.
+	if oc.pending == nil {
+		oc.pending = bufpool.Get(4 + len(frame))[:0]
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	oc.pending = append(oc.pending, hdr[:]...)
+	oc.pending = append(oc.pending, frame...)
+	oc.queued += uint64(4 + len(frame))
+	myEnd := oc.queued
+	for oc.err == nil && oc.done < myEnd {
+		oc.flushed.Wait()
+	}
+	err := oc.err
+	if oc.done >= myEnd {
+		// Our bytes reached the socket before any failure; later senders'
+		// errors are not ours to report.
+		err = nil
+	}
+	oc.mu.Unlock()
+	return err
+}
+
+// drainLocked writes queued frames until the queue is empty, then retires
+// the writer. Called with oc.mu held by the current writer; the lock is
+// dropped around each syscall so senders can keep queueing into the next
+// batch.
+func (oc *outConn) drainLocked() {
+	for oc.err == nil && len(oc.pending) > 0 {
+		batch := oc.pending
+		oc.pending = nil
+		oc.mu.Unlock()
+		_, werr := oc.c.Write(batch)
+		oc.mu.Lock()
+		if werr != nil && oc.err == nil {
+			oc.err = werr
+		} else if werr == nil {
+			// done only advances on success: a waiter whose bytes were in a
+			// failed batch must see the error, not a false success.
+			oc.done += uint64(len(batch))
+		}
+		bufpool.Put(batch)
+		oc.flushed.Broadcast()
+	}
+	if oc.err != nil && len(oc.pending) > 0 {
+		// Abandon the queue: waiters whose bytes never reached the socket
+		// see oc.done stop short of their offset and report oc.err.
+		bufpool.Put(oc.pending)
+		oc.pending = nil
+	}
+	oc.writing = false
+	oc.flushed.Broadcast()
 }
 
 func (oc *outConn) Method() string { return Name }

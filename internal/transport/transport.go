@@ -73,9 +73,12 @@ func (d Descriptor) String() string {
 // Sink receives inbound frames delivered by a module. Frames are opaque to
 // the transport layer; the core's wire format lives above it.
 type Sink interface {
-	// Deliver hands one inbound frame to the context. Implementations take
-	// ownership of the slice. Deliver must be safe for concurrent use: a
-	// blocking-mode module calls it from its own goroutine.
+	// Deliver hands one inbound frame to the context. The implementation
+	// borrows the slice for the duration of the call and must not retain it
+	// afterwards: the delivering module may recycle the frame's storage
+	// (bufpool) the moment Deliver returns. Deliver must be safe for
+	// concurrent use: a blocking-mode module calls it from its own
+	// goroutine.
 	Deliver(frame []byte)
 }
 
@@ -109,6 +112,13 @@ type Env struct {
 // with the same method.
 type Conn interface {
 	// Send transmits one frame. Send must be safe for concurrent use.
+	//
+	// Send borrows the frame: the caller may reuse or recycle the slice as
+	// soon as Send returns, so an implementation that queues frames
+	// (in-process mailboxes, modelled links, retransmission windows) must
+	// copy. This is what lets a multicast sender encode one frame and
+	// re-address it in place per target, and return its scratch to the
+	// pool unconditionally.
 	Send(frame []byte) error
 	// Method reports the module name that produced this connection.
 	Method() string

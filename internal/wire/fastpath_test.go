@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEncodeHeaderMatchesEncodeTo checks that the two-step encode path
+// (EncodeHeader + payload copy) produces byte-identical frames to the
+// monolithic Frame.EncodeTo.
+func TestEncodeHeaderMatchesEncodeTo(t *testing.T) {
+	f := &Frame{
+		Type:         TypeRSR,
+		DestContext:  7,
+		DestEndpoint: 1234,
+		SrcContext:   99,
+		Handler:      "compute",
+		Payload:      []byte("payload-bytes"),
+	}
+	want := f.Encode()
+
+	off := HeaderLen(len(f.Handler))
+	if off+len(f.Payload) != f.EncodedLen() {
+		t.Fatalf("HeaderLen(%d)+payload = %d, EncodedLen = %d",
+			len(f.Handler), off+len(f.Payload), f.EncodedLen())
+	}
+	got := make([]byte, off+len(f.Payload))
+	ret := EncodeHeader(got, f.Type, f.DestContext, f.DestEndpoint, f.SrcContext, f.Handler, len(f.Payload))
+	if ret != off {
+		t.Fatalf("EncodeHeader returned offset %d, HeaderLen says %d", ret, off)
+	}
+	copy(got[off:], f.Payload)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("EncodeHeader path produced %x, EncodeTo produced %x", got, want)
+	}
+}
+
+// TestPatchDest re-addresses an encoded frame in place and checks that only
+// the destination words change.
+func TestPatchDest(t *testing.T) {
+	f := &Frame{
+		Type:         TypeRSR,
+		DestContext:  1,
+		DestEndpoint: 2,
+		SrcContext:   3,
+		Handler:      "h",
+		Payload:      []byte{0xaa, 0xbb},
+	}
+	enc := f.Encode()
+	PatchDest(enc, 0xdeadbeef, 0xfeedface)
+
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DestContext != 0xdeadbeef || got.DestEndpoint != 0xfeedface {
+		t.Errorf("patched dest = (%#x, %#x)", got.DestContext, got.DestEndpoint)
+	}
+	if got.SrcContext != 3 || got.Handler != "h" || !bytes.Equal(got.Payload, f.Payload) {
+		t.Errorf("PatchDest disturbed non-dest fields: %+v", got)
+	}
+
+	// Patching back restores the original bytes exactly.
+	PatchDest(enc, 1, 2)
+	if !bytes.Equal(enc, f.Encode()) {
+		t.Error("round-trip patch did not restore original frame")
+	}
+}
+
+// TestPatchDestAllocs pins the multicast re-addressing step at zero
+// allocations.
+func TestPatchDestAllocs(t *testing.T) {
+	enc := (&Frame{Type: TypeRSR, Handler: "h", Payload: []byte("x")}).Encode()
+	n := testing.AllocsPerRun(200, func() {
+		PatchDest(enc, 42, 43)
+	})
+	if n != 0 {
+		t.Errorf("PatchDest allocates %.1f per call, want 0", n)
+	}
+}
+
+// TestDecodeIntoAliases checks the zero-copy decode contract: Handler and
+// Payload alias the input, while the heap-free Frame is caller-provided.
+func TestDecodeIntoAliases(t *testing.T) {
+	src := &Frame{Type: TypeRSR, DestContext: 5, DestEndpoint: 6, SrcContext: 7,
+		Handler: "hdl", Payload: []byte("data")}
+	enc := src.Encode()
+
+	var f Frame
+	if err := DecodeInto(&f, enc); err != nil {
+		t.Fatal(err)
+	}
+	if f.Handler != "hdl" || string(f.Payload) != "data" {
+		t.Fatalf("DecodeInto got handler=%q payload=%q", f.Handler, f.Payload)
+	}
+	// Payload aliases enc: mutating the input shows through.
+	if &f.Payload[0] != &enc[len(enc)-len(f.Payload)] {
+		t.Error("DecodeInto payload does not alias the input frame")
+	}
+
+	// Decode, by contrast, returns an independent Handler string that
+	// survives the input being clobbered.
+	g, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc {
+		enc[i] = 0xff
+	}
+	if g.Handler != "hdl" {
+		t.Errorf("Decode handler corrupted by input reuse: %q", g.Handler)
+	}
+}
+
+// TestDecodeIntoAllocs pins the dispatch-path decode at zero allocations.
+func TestDecodeIntoAllocs(t *testing.T) {
+	enc := (&Frame{Type: TypeRSR, Handler: "handler", Payload: make([]byte, 256)}).Encode()
+	var f Frame
+	n := testing.AllocsPerRun(200, func() {
+		if err := DecodeInto(&f, enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("DecodeInto allocates %.1f per call, want 0", n)
+	}
+}

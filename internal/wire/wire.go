@@ -15,7 +15,22 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"strings"
+	"unsafe"
+
+	"nexus/internal/bufpool"
 )
+
+// unsafeString returns a string aliasing b without copying. The result is
+// only valid while b's storage is; DecodeInto uses it so that the dispatch
+// path's handler lookup costs no allocation on pooled frames.
+func unsafeString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
 
 // Frame types.
 const (
@@ -74,6 +89,45 @@ func (f *Frame) EncodedLen() int {
 	return headerFixed + len(f.Handler) + 4 + len(f.Payload)
 }
 
+// HeaderLen reports the encoded size of everything before the payload bytes —
+// the fixed header, the handler name, and the payload length prefix — for a
+// handler name of the given length. An encoded frame with payloadLen payload
+// bytes occupies HeaderLen(len(handler)) + payloadLen bytes in total.
+func HeaderLen(handlerLen int) int {
+	return headerFixed + handlerLen + 4
+}
+
+// EncodeHeader writes a frame header — fixed part, handler name, and payload
+// length prefix — into dst, which must have length at least
+// HeaderLen(len(handler)). It returns the offset at which the payload's
+// payloadLen bytes begin. Together with PatchDest this is the encode-once
+// multicast path: the sender lays the header and payload down a single time
+// and re-addresses the same bytes for each target.
+func EncodeHeader(dst []byte, typ byte, destCtx, destEP, srcCtx uint64, handler string, payloadLen int) int {
+	dst[0] = magic
+	dst[1] = version
+	dst[2] = typ
+	binary.BigEndian.PutUint64(dst[3:], destCtx)
+	binary.BigEndian.PutUint64(dst[11:], destEP)
+	binary.BigEndian.PutUint64(dst[19:], srcCtx)
+	binary.BigEndian.PutUint16(dst[27:], uint16(len(handler)))
+	n := headerFixed
+	n += copy(dst[n:], handler)
+	binary.BigEndian.PutUint32(dst[n:], uint32(payloadLen))
+	return n + 4
+}
+
+// PatchDest rewrites the destination context and endpoint words of an
+// encoded frame in place, leaving every other byte untouched. dst must hold
+// at least the fixed header (any slice produced by Encode/EncodeHeader
+// qualifies). This is how a multicast startpoint re-addresses a single
+// encoded frame per target instead of re-encoding it.
+func PatchDest(dst []byte, ctx, ep uint64) {
+	_ = dst[headerFixed-1] // bounds hint: one check instead of two
+	binary.BigEndian.PutUint64(dst[3:], ctx)
+	binary.BigEndian.PutUint64(dst[11:], ep)
+}
+
 // Encode serializes the frame.
 func (f *Frame) Encode() []byte {
 	out := make([]byte, f.EncodedLen())
@@ -99,63 +153,80 @@ func (f *Frame) EncodeTo(dst []byte) int {
 	return n
 }
 
-// Decode parses an encoded frame. The returned frame's Payload aliases p.
+// Decode parses an encoded frame. The returned frame's Payload aliases p;
+// the Handler string is an independent copy.
 func Decode(p []byte) (*Frame, error) {
-	if len(p) < headerFixed+4 {
-		return nil, ErrShortFrame
+	f := &Frame{}
+	if err := DecodeInto(f, p); err != nil {
+		return nil, err
 	}
-	if p[0] != magic {
-		return nil, ErrBadMagic
-	}
-	if p[1] != version {
-		return nil, ErrBadVersion
-	}
-	f := &Frame{
-		Type:         p[2],
-		DestContext:  binary.BigEndian.Uint64(p[3:]),
-		DestEndpoint: binary.BigEndian.Uint64(p[11:]),
-		SrcContext:   binary.BigEndian.Uint64(p[19:]),
-	}
-	hl := int(binary.BigEndian.Uint16(p[27:]))
-	if hl > MaxHandlerLen {
-		return nil, ErrOversize
-	}
-	n := headerFixed
-	if len(p) < n+hl+4 {
-		return nil, ErrShortFrame
-	}
-	f.Handler = string(p[n : n+hl])
-	n += hl
-	pl := int(binary.BigEndian.Uint32(p[n:]))
-	if pl > MaxPayload {
-		return nil, ErrOversize
-	}
-	n += 4
-	if len(p) < n+pl {
-		return nil, ErrShortFrame
-	}
-	f.Payload = p[n : n+pl]
-	if len(p) != n+pl {
-		return nil, fmt.Errorf("wire: %d trailing bytes after frame", len(p)-n-pl)
-	}
+	f.Handler = strings.Clone(f.Handler)
 	return f, nil
 }
 
-// WriteFrame writes a length-prefixed encoded frame to a stream transport.
+// DecodeInto parses an encoded frame into f, which the caller typically keeps
+// on its stack: the RSR dispatch path decodes one frame per delivery, and a
+// heap-allocated Frame there is pure per-message garbage. The decoded
+// Handler and Payload alias p.
+func DecodeInto(f *Frame, p []byte) error {
+	if len(p) < headerFixed+4 {
+		return ErrShortFrame
+	}
+	if p[0] != magic {
+		return ErrBadMagic
+	}
+	if p[1] != version {
+		return ErrBadVersion
+	}
+	f.Type = p[2]
+	f.DestContext = binary.BigEndian.Uint64(p[3:])
+	f.DestEndpoint = binary.BigEndian.Uint64(p[11:])
+	f.SrcContext = binary.BigEndian.Uint64(p[19:])
+	hl := int(binary.BigEndian.Uint16(p[27:]))
+	if hl > MaxHandlerLen {
+		return ErrOversize
+	}
+	n := headerFixed
+	if len(p) < n+hl+4 {
+		return ErrShortFrame
+	}
+	f.Handler = unsafeString(p[n : n+hl])
+	n += hl
+	pl := int(binary.BigEndian.Uint32(p[n:]))
+	if pl > MaxPayload {
+		return ErrOversize
+	}
+	n += 4
+	if len(p) < n+pl {
+		return ErrShortFrame
+	}
+	f.Payload = p[n : n+pl]
+	if len(p) != n+pl {
+		return fmt.Errorf("wire: %d trailing bytes after frame", len(p)-n-pl)
+	}
+	return nil
+}
+
+// WriteFrame writes a length-prefixed encoded frame to a stream transport as
+// a single Write call (two writes per frame means two syscalls — and, on a
+// socket without TCP_NODELAY, risks a header-only segment).
 func WriteFrame(w io.Writer, encoded []byte) error {
 	if len(encoded) > MaxPayload+headerFixed+MaxHandlerLen+4 {
 		return ErrOversize
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(encoded)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(encoded)
+	buf := bufpool.Get(4 + len(encoded))
+	binary.BigEndian.PutUint32(buf, uint32(len(encoded)))
+	copy(buf[4:], encoded)
+	_, err := w.Write(buf)
+	bufpool.Put(buf)
 	return err
 }
 
 // ReadFrame reads one length-prefixed encoded frame from a stream transport.
+// The returned slice is backed by pooled storage: a caller that fully
+// controls the frame's lifetime (e.g. a blocking reader that delivers and
+// moves on) should hand it back with bufpool.Put; a caller that retains the
+// frame simply keeps it and lets the garbage collector reclaim it.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -165,8 +236,9 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if n > MaxPayload+headerFixed+MaxHandlerLen+4 {
 		return nil, ErrOversize
 	}
-	p := make([]byte, n)
+	p := bufpool.Get(n)
 	if _, err := io.ReadFull(r, p); err != nil {
+		bufpool.Put(p)
 		return nil, err
 	}
 	return p, nil

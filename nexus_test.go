@@ -211,7 +211,8 @@ type loopConn struct{ m *loopbackModule }
 
 func (c loopConn) Send(frame []byte) error {
 	c.m.mu.Lock()
-	c.m.q = append(c.m.q, frame)
+	// Send borrows the frame; queueing past return requires a copy.
+	c.m.q = append(c.m.q, append([]byte(nil), frame...))
 	c.m.mu.Unlock()
 	return nil
 }
