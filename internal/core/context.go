@@ -91,6 +91,10 @@ type Options struct {
 	// ErrorLog receives asynchronous delivery errors (unknown handler,
 	// undeliverable forward). Defaults to counting them silently.
 	ErrorLog func(error)
+	// Health tunes the per-link health registry behind automatic method
+	// failover (circuit-breaker thresholds, backoff). The zero value
+	// selects defaults.
+	Health HealthConfig
 }
 
 var nextContextID atomic.Uint64
@@ -101,20 +105,24 @@ type Context struct {
 	process   string
 	partition string
 	threaded  bool
-	selector  Selector
+	selector  Selector // as configured
+	healthSel Selector // selector wrapped with circuit filtering
 	pollOnRSR bool
 	errlog    func(error)
 	stats     *metrics.Set
+	registry  *transport.Registry
+	health    *healthRegistry
 
 	// Hot-path counters, resolved once at construction. Set.Counter is a
 	// lock plus a map lookup; the RSR send/receive and poll paths hit these
 	// on every operation, so they keep direct pointers (the metrics package
 	// documents that returned pointers may be cached).
-	cRSRSent    *metrics.Counter
-	cRSRRecv    *metrics.Counter
-	cBytesSent  *metrics.Counter
-	cBytesRecv  *metrics.Counter
-	cPollPasses *metrics.Counter
+	cRSRSent     *metrics.Counter
+	cRSRRecv     *metrics.Counter
+	cBytesSent   *metrics.Counter
+	cBytesRecv   *metrics.Counter
+	cPollPasses  *metrics.Counter
+	cRSRFailover *metrics.Counter
 
 	mu         sync.RWMutex
 	modules    []*moduleState
@@ -144,8 +152,16 @@ type moduleState struct {
 	countdown  int
 	skipAtomic atomic.Int64
 
-	polls  *metrics.Counter
-	frames *metrics.Counter
+	// consecPollErrs and pollDisabled implement receive-path supervision:
+	// after HealthConfig.PollFailureThreshold consecutive Poll errors the
+	// module leaves the polling rotation and re-probes on the health
+	// registry's backoff schedule. Both guarded by the context's pollMu.
+	consecPollErrs int
+	pollDisabled   bool
+
+	polls    *metrics.Counter
+	frames   *metrics.Counter
+	pollErrs *metrics.Counter
 }
 
 // NewContext creates a context and initializes its communication modules.
@@ -172,8 +188,10 @@ func NewContext(opts Options) (*Context, error) {
 		partition:  opts.Partition,
 		threaded:   opts.Threaded,
 		selector:   sel,
+		healthSel:  HealthAware(sel),
 		pollOnRSR:  !opts.DisablePollOnRSR,
 		stats:      metrics.NewSet(),
+		registry:   reg,
 		byMethod:   make(map[string]*moduleState),
 		endpoints:  make(map[uint64]*Endpoint),
 		handlers:   make(map[string]HandlerFunc),
@@ -181,11 +199,13 @@ func NewContext(opts Options) (*Context, error) {
 		peerTables: make(map[transport.ContextID]*transport.Table),
 		advertised: transport.NewTable(),
 	}
+	c.health = newHealthRegistry(opts.Health, c.stats)
 	c.cRSRSent = c.stats.Counter("rsr.sent")
 	c.cRSRRecv = c.stats.Counter("rsr.recv")
 	c.cBytesSent = c.stats.Counter("bytes.sent")
 	c.cBytesRecv = c.stats.Counter("bytes.recv")
 	c.cPollPasses = c.stats.Counter("poll.passes")
+	c.cRSRFailover = c.stats.Counter("rsr.failover")
 	c.errlog = opts.ErrorLog
 	if c.errlog == nil {
 		dropped := c.stats.Counter("errors.dropped")
@@ -223,11 +243,12 @@ func (c *Context) enableMethod(reg *transport.Registry, mc MethodConfig) error {
 		return err
 	}
 	ms := &moduleState{
-		name:   mc.Name,
-		module: mod,
-		skip:   mc.SkipPoll,
-		polls:  c.stats.Counter("poll." + mc.Name),
-		frames: c.stats.Counter("frames." + mc.Name),
+		name:     mc.Name,
+		module:   mod,
+		skip:     mc.SkipPoll,
+		polls:    c.stats.Counter("poll." + mc.Name),
+		frames:   c.stats.Counter("frames." + mc.Name),
+		pollErrs: c.stats.Counter("poll.errors." + mc.Name),
 	}
 	ms.skipAtomic.Store(int64(mc.SkipPoll))
 	desc, err := mod.Init(transport.Env{
@@ -266,6 +287,23 @@ func (c *Context) enableMethod(reg *transport.Registry, mc MethodConfig) error {
 		c.advertised.Add(*desc)
 	}
 	return nil
+}
+
+// EnableMethod enables an additional communication method at runtime — the
+// paper's "a new communication object can be constructed at any time" on the
+// module level. Together with DisableMethod it lets a context drop a dead
+// substrate and bring it (or a replacement) back later: the new descriptor
+// joins the advertised table, and peers that refresh their tables can select
+// the method again.
+func (c *Context) EnableMethod(mc MethodConfig) error {
+	c.mu.RLock()
+	reg := c.registry
+	closed := c.closed
+	c.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	return c.enableMethod(reg, mc)
 }
 
 // methodSink tags inbound frames with the module that delivered them, for
@@ -507,7 +545,9 @@ func (c *Context) acquireConn(d transport.Descriptor) (*sharedConn, error) {
 	return sc, nil
 }
 
-// releaseConn drops one reference, closing the connection when unused.
+// releaseConn drops one reference, closing the connection when unused. The
+// map delete is identity-guarded: an invalidated connection may already have
+// been replaced under the same key by a fresh redial.
 func (c *Context) releaseConn(sc *sharedConn) {
 	if sc == nil {
 		return
@@ -516,13 +556,31 @@ func (c *Context) releaseConn(sc *sharedConn) {
 	sc.refs--
 	var toClose transport.Conn
 	if sc.refs <= 0 {
-		delete(c.conns, sc.key)
+		if cur, ok := c.conns[sc.key]; ok && cur == sc {
+			delete(c.conns, sc.key)
+		}
 		toClose = sc.conn
 	}
 	c.mu.Unlock()
 	if toClose != nil {
 		toClose.Close()
 	}
+}
+
+// invalidateConn drops a communication object from the shared-connection
+// cache after a send failure, so the next acquire dials a fresh connection
+// instead of inheriting the poisoned one. Holders of outstanding references
+// keep using (and eventually releasing) the old object; they learn of its
+// death from their own send errors.
+func (c *Context) invalidateConn(sc *sharedConn) {
+	if sc == nil {
+		return
+	}
+	c.mu.Lock()
+	if cur, ok := c.conns[sc.key]; ok && cur == sc {
+		delete(c.conns, sc.key)
+	}
+	c.mu.Unlock()
 }
 
 // moduleFor returns the module state for a method name.

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the supervised side of a communication link: what
+// happens when a selected communication object's Send fails. The startpoint
+// reports the failure to the context's health registry, drops the poisoned
+// shared connection from the context cache (so nobody redials into it),
+// re-runs the configured selection policy against the remaining healthy
+// descriptors, redials, and transparently resends the failed frame. A
+// multicast startpoint runs this machinery per target, so fan-out degrades
+// link by link instead of failing the whole RSR.
+
+// maxFailoverAttempts bounds one frame's failover loop for a link with the
+// given descriptor table: every method may be retried up to the failure
+// threshold (each failure feeds the registry, so a persistently dead method
+// trips its circuit and stops being selected), plus one last-gasp attempt.
+func (sp *Startpoint) maxFailoverAttempts(tableLen int) int {
+	return tableLen*sp.owner.health.cfg.FailureThreshold + 1
+}
+
+// failoverTarget recovers one link after a failed send: reselect (the
+// health-aware selector skips tripped methods), redial, resend, until the
+// frame is delivered to a communication object or the attempt budget is
+// spent. The failed send's failure has already been reported and its shared
+// connection invalidated. Caller holds sp.mu.
+func (sp *Startpoint) failoverTarget(t *target, enc []byte, firstErr error) error {
+	owner := sp.owner
+	table, err := sp.tableFor(t)
+	if err != nil {
+		return err
+	}
+	lastErr := firstErr
+	budget := sp.maxFailoverAttempts(table.Len())
+	for attempt := 0; attempt < budget; attempt++ {
+		if t.conn != nil {
+			owner.releaseConn(t.conn)
+			t.conn = nil
+		}
+		t.method = ""
+		t.healthGen = owner.health.Gen()
+		if err := sp.selectTarget(t); err != nil {
+			// A dial refusal was already reported to the registry by
+			// selectTarget; keep looping — the next selection skips the
+			// method once its circuit trips. Give up only when no method is
+			// selectable at all.
+			if errors.Is(err, ErrNoApplicableMethod) || errors.Is(err, ErrNoTable) {
+				return fmt.Errorf("core: failover exhausted: %w (last send error: %v)", err, lastErr)
+			}
+			lastErr = err
+			continue
+		}
+		owner.health.cRedials.Inc()
+		if err := t.conn.conn.Send(enc); err != nil {
+			lastErr = err
+			owner.health.reportFailure(t.method, t.context, err)
+			owner.invalidateConn(t.conn)
+			continue
+		}
+		t.reportUp = false
+		owner.health.reportSuccess(t.method, t.context)
+		owner.health.cResends.Inc()
+		owner.cRSRFailover.Inc()
+		return nil
+	}
+	return fmt.Errorf("core: failover attempts exhausted: %w", lastErr)
+}
+
+// refreshTarget re-runs selection for a bound link when the health registry
+// has moved on (a circuit tripped or healed, or an open circuit's backoff
+// expired and a probe is due). Re-selection may return the same method, in
+// which case the existing communication object is kept. A link whose method
+// was chosen manually (SetMethod) is left alone. Caller holds sp.mu.
+func (sp *Startpoint) refreshTarget(t *target, gen uint64) {
+	if t.manual {
+		return
+	}
+	t.healthGen = gen
+	table, err := sp.tableFor(t)
+	if err != nil {
+		return // keep the current binding; sends surface the real error
+	}
+	desc, err := sp.owner.healthSel(sp.owner, table)
+	if err != nil || desc.Method == t.method {
+		return
+	}
+	// The selector now prefers a different method (a faster one healed, or
+	// the current one tripped elsewhere): rebind.
+	if err := sp.bindTarget(t, desc.Method, desc); err != nil {
+		// Dial failed — report it so the registry learns, keep the old conn.
+		sp.owner.health.reportFailure(desc.Method, t.context, err)
+	}
+}

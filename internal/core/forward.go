@@ -46,27 +46,48 @@ func (c *Context) forward(dest transport.ContextID, raw []byte) {
 		c.stats.Counter("forward.dropped").Inc()
 		return
 	}
-	desc, err := c.selector(c, table)
-	if err != nil {
-		c.errlog(fmt.Errorf("core: forwarder %d: selecting route to context %d: %w", c.id, dest, err))
-		c.stats.Counter("forward.dropped").Inc()
+	// Relay with the same supervision an RSR link gets: a failed route feeds
+	// the health registry, the route is reselected against the remaining
+	// healthy descriptors, and the frame is resent — bounded by the same
+	// per-frame attempt budget startpoint failover uses.
+	budget := table.Len()*c.health.cfg.FailureThreshold + 1
+	var lastErr error
+	for attempt := 0; attempt < budget; attempt++ {
+		desc, err := c.healthSel(c, table)
+		if err != nil {
+			c.errlog(fmt.Errorf("core: forwarder %d: selecting route to context %d: %w (last relay error: %v)", c.id, dest, err, lastErr))
+			c.stats.Counter("forward.dropped").Inc()
+			return
+		}
+		sc, err := c.acquireConn(desc)
+		if err != nil {
+			lastErr = err
+			c.health.reportFailure(desc.Method, dest, err)
+			continue
+		}
+		if attempt > 0 {
+			c.health.cRedials.Inc()
+		}
+		// The forwarder keeps its route connections open: the acquired
+		// reference is intentionally retained (released when the context
+		// closes).
+		if err := sc.conn.Send(raw); err != nil {
+			lastErr = err
+			c.errlog(fmt.Errorf("core: forwarder %d: relaying to context %d via %s: %w", c.id, dest, desc.Method, err))
+			c.health.reportFailure(desc.Method, dest, err)
+			c.invalidateConn(sc)
+			c.releaseConn(sc)
+			continue
+		}
+		if attempt > 0 {
+			c.health.reportSuccess(desc.Method, dest)
+			c.health.cResends.Inc()
+		}
+		c.stats.Counter("forward.relayed").Inc()
 		return
 	}
-	sc, err := c.acquireConn(desc)
-	if err != nil {
-		c.errlog(fmt.Errorf("core: forwarder %d: dialing %s to context %d: %w", c.id, desc.Method, dest, err))
-		c.stats.Counter("forward.dropped").Inc()
-		return
-	}
-	// The forwarder keeps its route connections open: the acquired reference
-	// is intentionally retained (released when the context closes).
-	if err := sc.conn.Send(raw); err != nil {
-		c.errlog(fmt.Errorf("core: forwarder %d: relaying to context %d via %s: %w", c.id, dest, desc.Method, err))
-		c.stats.Counter("forward.dropped").Inc()
-		c.releaseConn(sc)
-		return
-	}
-	c.stats.Counter("forward.relayed").Inc()
+	c.errlog(fmt.Errorf("core: forwarder %d: relay to context %d exhausted %d attempts: %w", c.id, dest, budget, lastErr))
+	c.stats.Counter("forward.dropped").Inc()
 }
 
 // RewriteForForwarder edits a descriptor table so that the given method's

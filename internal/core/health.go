@@ -1,0 +1,431 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nexus/internal/metrics"
+	"nexus/internal/transport"
+)
+
+// This file implements the per-context link-health registry behind automatic
+// method failover. Every (method, peer-context) pair a context sends to has a
+// circuit: Closed while the method works, Open after repeated send failures
+// (selection then avoids it), and HalfOpen when the open circuit's backoff
+// expires and exactly one send is let through as a probe. A probe success
+// closes the circuit and bumps the registry generation, which makes every
+// supervised link re-run selection — so links that degraded to a slower
+// method land back on the fastest one after a heal, the paper's "a new
+// communication object can be constructed at any time" made automatic.
+
+// CircuitState is the health state of one (method, peer-context) pair.
+type CircuitState int
+
+const (
+	// CircuitClosed: the method is healthy (or untried) toward the peer.
+	CircuitClosed CircuitState = iota
+	// CircuitOpen: repeated failures tripped the circuit; selection skips
+	// the method until the backoff expires.
+	CircuitOpen
+	// CircuitHalfOpen: the backoff expired and one in-flight send is probing
+	// the method; its outcome closes or re-opens the circuit.
+	CircuitHalfOpen
+)
+
+func (s CircuitState) String() string {
+	switch s {
+	case CircuitClosed:
+		return "closed"
+	case CircuitOpen:
+		return "open"
+	case CircuitHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// HealthConfig tunes the health registry. The zero value selects defaults.
+type HealthConfig struct {
+	// FailureThreshold is how many consecutive send failures open a
+	// (method, peer) circuit (default 2: one failure may just be a stale
+	// cached connection; a redial that also fails is a dead method).
+	FailureThreshold int
+	// BackoffBase is the first open-circuit backoff (default 100ms). Each
+	// failed half-open probe doubles it up to BackoffMax.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff (default 5s).
+	BackoffMax time.Duration
+	// BackoffJitter randomizes each backoff by up to this fraction so a
+	// fleet of links does not probe in lockstep. 0 selects the default
+	// (0.2); a negative value disables jitter (deterministic tests).
+	BackoffJitter float64
+	// ProbeTimeout bounds a half-open probe: if its outcome has not been
+	// reported after this long (the probing sender died), another probe is
+	// allowed (default 2s).
+	ProbeTimeout time.Duration
+	// PollFailureThreshold is how many consecutive module Poll errors
+	// disable a method's receive path (default 8). The path re-probes on
+	// the circuit's backoff schedule instead of spinning forever.
+	PollFailureThreshold int
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.FailureThreshold < 1 {
+		c.FailureThreshold = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.BackoffJitter == 0 {
+		c.BackoffJitter = 0.2
+	}
+	if c.BackoffJitter < 0 {
+		c.BackoffJitter = 0
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.PollFailureThreshold < 1 {
+		c.PollFailureThreshold = 8
+	}
+	return c
+}
+
+// receivePeer is the pseudo-peer key under which a method's local receive
+// path (its Poll) is tracked. Real context ids start at 1.
+const receivePeer = transport.ContextID(0)
+
+type healthKey struct {
+	method string
+	peer   transport.ContextID
+}
+
+type healthEntry struct {
+	state        CircuitState
+	consecFails  int
+	backoff      time.Duration
+	retryAt      time.Time
+	probeStarted time.Time
+	openedAt     time.Time
+	trips        uint64
+	lastErr      string
+}
+
+// HealthInfo is one entry of a context's health snapshot. Peer 0 describes a
+// method's local receive path (poll health) rather than a link.
+type HealthInfo struct {
+	Method              string
+	Peer                transport.ContextID
+	State               CircuitState
+	ConsecutiveFailures int
+	// Trips counts how many times this circuit has opened.
+	Trips uint64
+	// Backoff is the current open-circuit backoff (0 when closed).
+	Backoff time.Duration
+	// RetryAt is when an open circuit may next probe (zero when closed).
+	RetryAt time.Time
+	// LastError is the most recent failure, "" after a heal.
+	LastError string
+}
+
+// healthRegistry tracks circuit state per (method, peer-context) pair.
+type healthRegistry struct {
+	cfg HealthConfig
+
+	// gen increments on every state transition that should make supervised
+	// links re-run selection (trip and heal). Targets stamp the generation
+	// they selected under; a mismatch on the next send triggers
+	// re-selection.
+	gen atomic.Uint64
+	// nextRetry is the earliest UnixNano at which any open circuit may be
+	// probed (0 = nothing pending). Senders use it to know when a
+	// re-selection is worth running even though gen has not moved.
+	nextRetry atomic.Int64
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	entries map[healthKey]*healthEntry
+
+	// Counters exported through the context's stats set.
+	cTrips   *metrics.Counter // failover.trips: circuits opened from closed
+	cOpens   *metrics.Counter // health.open: all transitions into Open
+	cProbes  *metrics.Counter // health.halfopen.probes: probe grants
+	cRedials *metrics.Counter // failover.redials: reconnect attempts
+	cResends *metrics.Counter // failover.resends: frames resent after failure
+}
+
+func newHealthRegistry(cfg HealthConfig, stats *metrics.Set) *healthRegistry {
+	return &healthRegistry{
+		cfg:      cfg.withDefaults(),
+		rng:      rand.New(rand.NewSource(1)),
+		entries:  make(map[healthKey]*healthEntry),
+		cTrips:   stats.Counter("failover.trips"),
+		cOpens:   stats.Counter("health.open"),
+		cProbes:  stats.Counter("health.halfopen.probes"),
+		cRedials: stats.Counter("failover.redials"),
+		cResends: stats.Counter("failover.resends"),
+	}
+}
+
+// Gen returns the current transition generation.
+func (h *healthRegistry) Gen() uint64 { return h.gen.Load() }
+
+// probeDue reports whether some open circuit's backoff has expired, i.e.
+// whether a sender should re-run selection to volunteer a probe. One atomic
+// load on the healthy path; the clock is read only while a retry is armed.
+func (h *healthRegistry) probeDue() bool {
+	nr := h.nextRetry.Load()
+	return nr != 0 && time.Now().UnixNano() >= nr
+}
+
+func (h *healthRegistry) entryLocked(k healthKey) *healthEntry {
+	e := h.entries[k]
+	if e == nil {
+		e = &healthEntry{}
+		h.entries[k] = e
+	}
+	return e
+}
+
+// jitteredLocked returns d extended by up to cfg.BackoffJitter*d.
+func (h *healthRegistry) jitteredLocked(d time.Duration) time.Duration {
+	if h.cfg.BackoffJitter <= 0 {
+		return d
+	}
+	return d + time.Duration(h.cfg.BackoffJitter*h.rng.Float64()*float64(d))
+}
+
+// recomputeNextRetryLocked re-derives the earliest pending probe time across
+// all open and half-open entries.
+func (h *healthRegistry) recomputeNextRetryLocked() {
+	var min time.Time
+	for _, e := range h.entries {
+		var at time.Time
+		switch e.state {
+		case CircuitOpen:
+			at = e.retryAt
+		case CircuitHalfOpen:
+			// A probe that never reports back re-arms after ProbeTimeout.
+			at = e.probeStarted.Add(h.cfg.ProbeTimeout)
+		default:
+			continue
+		}
+		if min.IsZero() || at.Before(min) {
+			min = at
+		}
+	}
+	if min.IsZero() {
+		h.nextRetry.Store(0)
+	} else {
+		h.nextRetry.Store(min.UnixNano())
+	}
+}
+
+// allowedLocked reports whether the (method, peer) pair may be used for a
+// send right now. Granting an expired open circuit transitions it to
+// HalfOpen: the caller's send is the probe.
+func (h *healthRegistry) allowedLocked(k healthKey, now time.Time) bool {
+	e := h.entries[k]
+	if e == nil || e.state == CircuitClosed {
+		return true
+	}
+	switch e.state {
+	case CircuitOpen:
+		if now.Before(e.retryAt) {
+			return false
+		}
+		e.state = CircuitHalfOpen
+		e.probeStarted = now
+		h.cProbes.Inc()
+		h.recomputeNextRetryLocked()
+		return true
+	case CircuitHalfOpen:
+		if now.Sub(e.probeStarted) > h.cfg.ProbeTimeout {
+			e.probeStarted = now
+			h.cProbes.Inc()
+			h.recomputeNextRetryLocked()
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// allowed is allowedLocked behind the registry lock (poll-path probes).
+func (h *healthRegistry) allowed(method string, peer transport.ContextID) bool {
+	now := time.Now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.allowedLocked(healthKey{method, peer}, now)
+}
+
+// filterTable returns a view of table with entries whose circuits are open
+// removed. Half-open grants happen here: at most one caller receives the
+// probed method.
+func (h *healthRegistry) filterTable(table *transport.Table) *transport.Table {
+	now := time.Now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.entries) == 0 {
+		return table
+	}
+	kept := make([]transport.Descriptor, 0, len(table.Entries))
+	for _, d := range table.Entries {
+		if h.allowedLocked(healthKey{d.Method, d.Context}, now) {
+			kept = append(kept, d)
+		}
+	}
+	if len(kept) == len(table.Entries) {
+		return table
+	}
+	return &transport.Table{Entries: kept}
+}
+
+// reportFailure records a failed send on (method, peer). It trips the
+// circuit after FailureThreshold consecutive failures and re-opens a
+// half-open circuit with a doubled backoff.
+func (h *healthRegistry) reportFailure(method string, peer transport.ContextID, err error) {
+	now := time.Now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e := h.entryLocked(healthKey{method, peer})
+	e.consecFails++
+	if err != nil {
+		e.lastErr = err.Error()
+	}
+	switch e.state {
+	case CircuitHalfOpen:
+		// Failed probe: back to open, backoff doubled.
+		e.backoff *= 2
+		if e.backoff > h.cfg.BackoffMax {
+			e.backoff = h.cfg.BackoffMax
+		}
+		e.state = CircuitOpen
+		e.retryAt = now.Add(h.jitteredLocked(e.backoff))
+		h.cOpens.Inc()
+		h.recomputeNextRetryLocked()
+	case CircuitClosed:
+		if e.consecFails >= h.cfg.FailureThreshold {
+			e.state = CircuitOpen
+			e.backoff = h.cfg.BackoffBase
+			e.retryAt = now.Add(h.jitteredLocked(e.backoff))
+			e.openedAt = now
+			e.trips++
+			h.cTrips.Inc()
+			h.cOpens.Inc()
+			h.gen.Add(1) // siblings sharing the method move off it
+			h.recomputeNextRetryLocked()
+		}
+	case CircuitOpen:
+		// A last-gasp send (every method open) failed again; the existing
+		// retry schedule stands.
+	}
+}
+
+// tripNow opens the circuit immediately, bypassing the failure threshold
+// (the poll path counts its own consecutive errors).
+func (h *healthRegistry) tripNow(method string, peer transport.ContextID, err error) {
+	now := time.Now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e := h.entryLocked(healthKey{method, peer})
+	if err != nil {
+		e.lastErr = err.Error()
+	}
+	if e.consecFails < h.cfg.FailureThreshold {
+		e.consecFails = h.cfg.FailureThreshold
+	}
+	if e.state == CircuitOpen {
+		return
+	}
+	e.state = CircuitOpen
+	if e.backoff == 0 {
+		e.backoff = h.cfg.BackoffBase
+	}
+	e.retryAt = now.Add(h.jitteredLocked(e.backoff))
+	e.openedAt = now
+	e.trips++
+	h.cTrips.Inc()
+	h.cOpens.Inc()
+	h.gen.Add(1)
+	h.recomputeNextRetryLocked()
+}
+
+// reportSuccess records a working send on (method, peer), healing its
+// circuit. Healing bumps the generation so every supervised link re-runs
+// selection and lands back on the fastest applicable method.
+func (h *healthRegistry) reportSuccess(method string, peer transport.ContextID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e := h.entries[healthKey{method, peer}]
+	if e == nil {
+		return
+	}
+	if e.state != CircuitClosed {
+		e.state = CircuitClosed
+		h.gen.Add(1)
+		h.recomputeNextRetryLocked()
+	}
+	e.consecFails = 0
+	e.backoff = 0
+	e.retryAt = time.Time{}
+	e.lastErr = ""
+}
+
+// snapshot returns the registry's entries sorted by method then peer.
+func (h *healthRegistry) snapshot() []HealthInfo {
+	h.mu.Lock()
+	out := make([]HealthInfo, 0, len(h.entries))
+	for k, e := range h.entries {
+		out = append(out, HealthInfo{
+			Method:              k.method,
+			Peer:                k.peer,
+			State:               e.state,
+			ConsecutiveFailures: e.consecFails,
+			Trips:               e.trips,
+			Backoff:             e.backoff,
+			RetryAt:             e.retryAt,
+			LastError:           e.lastErr,
+		})
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Method != out[j].Method {
+			return out[i].Method < out[j].Method
+		}
+		return out[i].Peer < out[j].Peer
+	})
+	return out
+}
+
+// HealthSnapshot returns the state of every (method, peer-context) circuit
+// the context has tracked — the enquiry interface for the failover layer.
+// Entries with Peer 0 describe a method's local receive path.
+func (c *Context) HealthSnapshot() []HealthInfo { return c.health.snapshot() }
+
+// HealthAware wraps a selection policy so that it ignores descriptor-table
+// entries whose (method, peer-context) circuit is open. It composes with any
+// policy: HealthAware(FirstApplicable), HealthAware(PreferOrder("mpl")),
+// HealthAware(CheapestPoll). When every method's circuit is open (or nothing
+// in the filtered table is applicable), it falls back to the full table: a
+// last-gasp attempt beats a guaranteed failure, and its outcome feeds the
+// registry either way. The context's configured selector is wrapped this way
+// automatically.
+func HealthAware(inner Selector) Selector {
+	return func(c *Context, table *transport.Table) (transport.Descriptor, error) {
+		filtered := c.health.filterTable(table)
+		if filtered.Len() > 0 {
+			if d, err := inner(c, filtered); err == nil {
+				return d, nil
+			}
+		}
+		return inner(c, table)
+	}
+}

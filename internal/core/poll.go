@@ -50,17 +50,45 @@ func (c *Context) pollPassLocked() int {
 		if ms.blocking {
 			continue
 		}
-		if ms.countdown > 0 {
-			ms.countdown--
-			continue
+		if ms.pollDisabled {
+			// The module's receive path tripped its circuit. Poll it again
+			// only when the health registry grants a half-open probe.
+			if !c.health.allowed(ms.name, receivePeer) {
+				continue
+			}
+		} else {
+			if ms.countdown > 0 {
+				ms.countdown--
+				continue
+			}
+			ms.countdown = ms.skip - 1
 		}
-		ms.countdown = ms.skip - 1
 		ms.polls.Inc()
 		n, err := ms.module.Poll()
 		if err != nil {
+			ms.pollErrs.Inc()
 			c.errlog(fmt.Errorf("core: context %d: polling %s: %w", c.id, ms.name, err))
+			if ms.pollDisabled {
+				// Failed probe: push the circuit back to open with a longer
+				// backoff.
+				c.health.reportFailure(ms.name, receivePeer, err)
+				continue
+			}
+			ms.consecPollErrs++
+			if ms.consecPollErrs >= c.health.cfg.PollFailureThreshold {
+				ms.pollDisabled = true
+				c.health.tripNow(ms.name, receivePeer, err)
+				c.stats.Counter("poll.disabled").Inc()
+				c.errlog(fmt.Errorf("core: context %d: method %s left polling rotation after %d consecutive errors", c.id, ms.name, ms.consecPollErrs))
+			}
 			continue
 		}
+		if ms.pollDisabled {
+			// Successful probe: the receive path is back.
+			ms.pollDisabled = false
+			c.health.reportSuccess(ms.name, receivePeer)
+		}
+		ms.consecPollErrs = 0
 		total += n
 	}
 	return total

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -32,6 +33,18 @@ type target struct {
 	table    *transport.Table // nil for lightweight startpoints
 	method   string
 	conn     *sharedConn
+
+	// healthGen is the health-registry generation the current method was
+	// selected under; when the registry moves (a circuit trips or heals)
+	// the link re-runs selection on its next send.
+	healthGen uint64
+	// reportUp marks a freshly bound communication object whose first
+	// successful send should be reported to the health registry (it may be
+	// the probe that closes a half-open circuit).
+	reportUp bool
+	// manual pins a method chosen via SetMethod: health transitions do not
+	// re-select it (send failures with failover enabled still do).
+	manual bool
 }
 
 // Targets reports the (context, endpoint) pairs this startpoint is linked to.
@@ -143,6 +156,21 @@ func (sp *Startpoint) Method() string {
 	return sp.targets[0].method
 }
 
+// MethodFor reports the currently selected method for the link to the given
+// context ("" if no such link exists or selection has not happened yet). On
+// a multicast startpoint each link degrades and heals independently, so
+// different targets may be on different methods at the same time.
+func (sp *Startpoint) MethodFor(ctx transport.ContextID) string {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for _, t := range sp.targets {
+		if t.context == ctx {
+			return t.method
+		}
+	}
+	return ""
+}
+
 // SetMethod manually selects the communication method for every link of the
 // startpoint, overriding automatic selection. The method must appear in each
 // link's descriptor table and be applicable from the owning context.
@@ -168,6 +196,7 @@ func (sp *Startpoint) SetMethod(name string) error {
 		if err := sp.bindTarget(t, name, desc); err != nil {
 			return err
 		}
+		t.manual = true
 	}
 	return nil
 }
@@ -204,18 +233,25 @@ func (sp *Startpoint) tableFor(t *target) (*transport.Table, error) {
 	return nil, fmt.Errorf("core: context %d: %w", t.context, ErrNoTable)
 }
 
-// selectTarget runs the context's selection policy for one link and binds
-// the resulting communication object. Caller holds sp.mu.
+// selectTarget runs the context's (health-aware) selection policy for one
+// link and binds the resulting communication object. Caller holds sp.mu.
 func (sp *Startpoint) selectTarget(t *target) error {
 	table, err := sp.tableFor(t)
 	if err != nil {
 		return err
 	}
-	desc, err := sp.owner.selector(sp.owner, table)
+	desc, err := sp.owner.healthSel(sp.owner, table)
 	if err != nil {
 		return err
 	}
-	return sp.bindTarget(t, desc.Method, desc)
+	if err := sp.bindTarget(t, desc.Method, desc); err != nil {
+		// A failed dial is as much a method failure as a failed send: feed
+		// the registry so repeated refusals trip the circuit and selection
+		// moves on to the next applicable method.
+		sp.owner.health.reportFailure(desc.Method, t.context, err)
+		return err
+	}
+	return nil
 }
 
 // bindTarget points the link at a (possibly new) communication object.
@@ -233,6 +269,7 @@ func (sp *Startpoint) bindTarget(t *target, method string, desc transport.Descri
 	}
 	t.conn = sc
 	t.method = method
+	t.reportUp = true
 	return nil
 }
 
@@ -265,11 +302,32 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 	if len(sp.targets) == 0 {
 		return fmt.Errorf("core: RSR on unbound startpoint")
 	}
+	// Bind unbound links; refresh bound ones whose selection is stale — the
+	// health registry moved (a circuit tripped or healed) or an open
+	// circuit's backoff expired and a probe is due. On the healthy path
+	// this costs two atomic loads.
+	gen := sp.owner.health.Gen()
+	probeDue := sp.owner.health.probeDue()
+	var selFail map[*target]error
 	for _, t := range sp.targets {
 		if t.conn == nil {
+			t.healthGen = gen
 			if err := sp.selectTarget(t); err != nil {
-				return err
+				if !sp.failover {
+					return err
+				}
+				// With failover on, a failed selection still gets the frame:
+				// the failover loop below retries against the remaining
+				// healthy methods once the frame is encoded.
+				if selFail == nil {
+					selFail = make(map[*target]error)
+				}
+				selFail[t] = err
 			}
+			continue
+		}
+		if t.healthGen != gen || probeDue {
+			sp.refreshTarget(t, gen)
 		}
 	}
 	payloadLen := 1 // lone format tag for a nil buffer
@@ -287,48 +345,46 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 	} else {
 		enc[off] = byte(buffer.NativeFormat)
 	}
+	var errs []error
 	for _, t := range sp.targets {
+		if t.conn == nil {
+			// Selection failed above. Retry it as a failover now that the
+			// frame exists: dial refusals feed the registry, so the loop
+			// moves past a dead method instead of reporting it forever.
+			serr := selFail[t]
+			if serr == nil {
+				continue
+			}
+			wire.PatchDest(enc, uint64(t.context), t.endpoint)
+			if ferr := sp.failoverTarget(t, enc, serr); ferr != nil {
+				errs = append(errs, fmt.Errorf("core: RSR to context %d: %w", t.context, ferr))
+				continue
+			}
+			sp.owner.cRSRSent.Inc()
+			sp.owner.cBytesSent.Add(uint64(len(enc)))
+			continue
+		}
 		wire.PatchDest(enc, uint64(t.context), t.endpoint)
 		if err := t.conn.conn.Send(enc); err != nil {
+			sp.owner.health.reportFailure(t.method, t.context, err)
+			sp.owner.invalidateConn(t.conn)
 			if !sp.failover {
 				return fmt.Errorf("core: RSR via %s to context %d: %w", t.method, t.context, err)
 			}
-			if err := sp.failoverTarget(t, enc, err); err != nil {
-				return err
+			if ferr := sp.failoverTarget(t, enc, err); ferr != nil {
+				// Degrade per target: the remaining links still get the
+				// frame; the caller sees which targets failed.
+				errs = append(errs, fmt.Errorf("core: RSR to context %d: %w", t.context, ferr))
+				continue
 			}
+		} else if t.reportUp {
+			t.reportUp = false
+			sp.owner.health.reportSuccess(t.method, t.context)
 		}
 		sp.owner.cRSRSent.Inc()
 		sp.owner.cBytesSent.Add(uint64(len(enc)))
 	}
-	return nil
-}
-
-// failoverTarget drops the failed method from the link's table, reselects,
-// and retries until the frame is sent or no method remains. Caller holds
-// sp.mu.
-func (sp *Startpoint) failoverTarget(t *target, enc []byte, firstErr error) error {
-	lastErr := firstErr
-	for {
-		table, err := sp.tableFor(t)
-		if err != nil {
-			return err
-		}
-		if !table.Remove(t.method) {
-			return fmt.Errorf("core: failover from %s: method missing from table: %w", t.method, lastErr)
-		}
-		sp.owner.releaseConn(t.conn)
-		t.conn = nil
-		t.method = ""
-		if err := sp.selectTarget(t); err != nil {
-			return fmt.Errorf("core: failover exhausted: %w (last send error: %v)", err, lastErr)
-		}
-		if err := t.conn.conn.Send(enc); err != nil {
-			lastErr = err
-			continue
-		}
-		sp.owner.stats.Counter("rsr.failover").Inc()
-		return nil
-	}
+	return errors.Join(errs...)
 }
 
 // Close releases the startpoint's communication objects. The links

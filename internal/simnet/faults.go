@@ -1,0 +1,198 @@
+package simnet
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nexus/internal/transport"
+)
+
+// Fault injection for deterministic failure testing. Each Fabric owns a
+// Faults controller; tests script per-link drop rates, one-shot send errors,
+// extra delivery delay, severed links, and whole-fabric partitions, then heal
+// them and watch the stack recover. The controller costs one atomic load per
+// Send while no fault has ever been configured.
+
+// Errors returned by injected faults. All are distinguishable from real
+// transport errors so tests can assert on the injection path.
+var (
+	// ErrInjected is returned by one-shot send failures (FailNextSends).
+	ErrInjected = errors.New("simnet: injected send error")
+	// ErrPartitioned is returned when src and dest are in different
+	// partition groups.
+	ErrPartitioned = errors.New("simnet: fabric partitioned")
+	// ErrLinkDown is returned while a link is cut (CutLink).
+	ErrLinkDown = errors.New("simnet: link down")
+)
+
+type linkKey struct {
+	from, to transport.ContextID
+}
+
+type linkFault struct {
+	dropRate float64       // probability a frame is silently dropped
+	delay    time.Duration // extra delivery delay, not time-scaled
+	failNext int           // next n sends return ErrInjected
+	cut      bool          // link severed: every send returns ErrLinkDown
+	dropped  uint64        // frames silently dropped so far
+}
+
+// Faults is a fabric's fault-injection controller. All methods are safe for
+// concurrent use with live traffic.
+type Faults struct {
+	active atomic.Bool // true once any fault has been configured
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	links  map[linkKey]*linkFault
+	groups map[transport.ContextID]int // partition group; absent = unconfined
+}
+
+func newFaults() *Faults {
+	return &Faults{
+		rng:    rand.New(rand.NewSource(1)),
+		links:  make(map[linkKey]*linkFault),
+		groups: make(map[transport.ContextID]int),
+	}
+}
+
+// Faults returns the fabric's fault-injection controller.
+func (f *Fabric) Faults() *Faults { return f.faults }
+
+func (fs *Faults) linkLocked(from, to transport.ContextID) *linkFault {
+	k := linkKey{from, to}
+	lf := fs.links[k]
+	if lf == nil {
+		lf = &linkFault{}
+		fs.links[k] = lf
+	}
+	return lf
+}
+
+// Seed reseeds the drop-rate RNG so probabilistic runs are reproducible.
+func (fs *Faults) Seed(seed int64) {
+	fs.mu.Lock()
+	fs.rng = rand.New(rand.NewSource(seed))
+	fs.mu.Unlock()
+}
+
+// DropRate makes the directed link from→to silently drop each frame with the
+// given probability in [0, 1]. Dropped frames vanish: Send still reports
+// success, modelling loss below the error-detection horizon.
+func (fs *Faults) DropRate(from, to transport.ContextID, rate float64) {
+	fs.mu.Lock()
+	fs.linkLocked(from, to).dropRate = rate
+	fs.mu.Unlock()
+	fs.active.Store(true)
+}
+
+// Delay adds extra delivery delay on the directed link from→to, on top of the
+// fabric's modelled latency and unaffected by TimeScale.
+func (fs *Faults) Delay(from, to transport.ContextID, d time.Duration) {
+	fs.mu.Lock()
+	fs.linkLocked(from, to).delay = d
+	fs.mu.Unlock()
+	fs.active.Store(true)
+}
+
+// FailNextSends makes the next n sends on the directed link from→to return
+// ErrInjected, then resumes normal delivery — a transient fault the failover
+// layer should absorb with a redial and resend.
+func (fs *Faults) FailNextSends(from, to transport.ContextID, n int) {
+	fs.mu.Lock()
+	fs.linkLocked(from, to).failNext = n
+	fs.mu.Unlock()
+	fs.active.Store(true)
+}
+
+// CutLink severs the directed link from→to: every send returns ErrLinkDown
+// until RestoreLink.
+func (fs *Faults) CutLink(from, to transport.ContextID) {
+	fs.mu.Lock()
+	fs.linkLocked(from, to).cut = true
+	fs.mu.Unlock()
+	fs.active.Store(true)
+}
+
+// RestoreLink repairs a link severed by CutLink.
+func (fs *Faults) RestoreLink(from, to transport.ContextID) {
+	fs.mu.Lock()
+	fs.linkLocked(from, to).cut = false
+	fs.mu.Unlock()
+}
+
+// Partition splits the fabric into groups: sends between contexts in
+// different groups return ErrPartitioned. Contexts not listed in any group
+// remain unconfined and can reach everyone. Calling Partition replaces any
+// previous partitioning.
+func (fs *Faults) Partition(groups ...[]transport.ContextID) {
+	fs.mu.Lock()
+	fs.groups = make(map[transport.ContextID]int)
+	for g, members := range groups {
+		for _, ctx := range members {
+			fs.groups[ctx] = g
+		}
+	}
+	fs.mu.Unlock()
+	fs.active.Store(true)
+}
+
+// Heal removes any partitioning; cut links and drop rates are unaffected.
+func (fs *Faults) Heal() {
+	fs.mu.Lock()
+	fs.groups = make(map[transport.ContextID]int)
+	fs.mu.Unlock()
+}
+
+// Dropped reports how many frames the directed link from→to has silently
+// dropped via DropRate.
+func (fs *Faults) Dropped(from, to transport.ContextID) uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if lf := fs.links[linkKey{from, to}]; lf != nil {
+		return lf.dropped
+	}
+	return 0
+}
+
+// Reset clears every configured fault and returns the controller to its
+// zero-cost idle state.
+func (fs *Faults) Reset() {
+	fs.mu.Lock()
+	fs.links = make(map[linkKey]*linkFault)
+	fs.groups = make(map[transport.ContextID]int)
+	fs.mu.Unlock()
+	fs.active.Store(false)
+}
+
+// apply evaluates the configured faults for one send. It returns the extra
+// delivery delay, whether the frame is silently dropped, and an injected
+// error (checked in order: partition, cut link, one-shot failure).
+func (fs *Faults) apply(from, to transport.ContextID) (extra time.Duration, drop bool, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if gf, okf := fs.groups[from]; okf {
+		if gt, okt := fs.groups[to]; okt && gf != gt {
+			return 0, false, ErrPartitioned
+		}
+	}
+	lf := fs.links[linkKey{from, to}]
+	if lf == nil {
+		return 0, false, nil
+	}
+	if lf.cut {
+		return 0, false, ErrLinkDown
+	}
+	if lf.failNext > 0 {
+		lf.failNext--
+		return 0, false, ErrInjected
+	}
+	if lf.dropRate > 0 && fs.rng.Float64() < lf.dropRate {
+		lf.dropped++
+		return 0, true, nil
+	}
+	return lf.delay, false, nil
+}

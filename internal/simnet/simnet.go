@@ -113,14 +113,15 @@ func init() {
 // Fabric is the shared medium for one simulated method: the set of mailboxes
 // of all participating contexts.
 type Fabric struct {
-	name  string
-	mu    sync.RWMutex
-	boxes map[transport.ContextID]*mailbox
+	name   string
+	faults *Faults
+	mu     sync.RWMutex
+	boxes  map[transport.ContextID]*mailbox
 }
 
 // NewFabric returns an isolated fabric.
 func NewFabric(name string) *Fabric {
-	return &Fabric{name: name, boxes: make(map[transport.ContextID]*mailbox)}
+	return &Fabric{name: name, faults: newFaults(), boxes: make(map[transport.ContextID]*mailbox)}
 }
 
 // Name reports the fabric's name.
@@ -299,6 +300,7 @@ func (m *Module) Applicable(remote transport.Descriptor) bool {
 func (m *Module) Dial(remote transport.Descriptor) (transport.Conn, error) {
 	m.mu.Lock()
 	inited, closed := m.inited, m.closed
+	src := m.env.Context
 	m.mu.Unlock()
 	if !inited {
 		return nil, transport.ErrNotInitialized
@@ -317,7 +319,7 @@ func (m *Module) Dial(remote transport.Descriptor) (transport.Conn, error) {
 		}
 		dest = transport.ContextID(n)
 	}
-	return &conn{fabric: m.fabric, cfg: m.cfg, dest: dest}, nil
+	return &conn{fabric: m.fabric, cfg: m.cfg, src: src, dest: dest}, nil
 }
 
 // Poll charges the configured poll cost, then delivers every ripe frame up
@@ -377,6 +379,7 @@ func busyWait(d time.Duration) {
 type conn struct {
 	fabric *Fabric
 	cfg    Config
+	src    transport.ContextID
 	dest   transport.ContextID
 
 	mu       sync.Mutex
@@ -385,7 +388,21 @@ type conn struct {
 
 // Send stamps the frame with its modelled arrival time: transmission starts
 // when the link is free, lasts size/bandwidth, and arrival adds wire latency.
+// Configured faults are consulted first: an injected error aborts the send, a
+// probabilistic drop silently discards the frame (Send still succeeds), and
+// injected delay is added to the arrival time unscaled.
 func (c *conn) Send(frame []byte) error {
+	var extra time.Duration
+	if fs := c.fabric.faults; fs != nil && fs.active.Load() {
+		d, drop, err := fs.apply(c.src, c.dest)
+		if err != nil {
+			return fmt.Errorf("simnet(%s): %d->%d: %w", c.cfg.Method, c.src, c.dest, err)
+		}
+		if drop {
+			return nil
+		}
+		extra = d
+	}
 	box, ok := c.fabric.lookup(c.dest)
 	if !ok {
 		return fmt.Errorf("simnet(%s): context %d not on fabric %q: %w",
@@ -404,7 +421,7 @@ func (c *conn) Send(frame []byte) error {
 	}
 	txScaled := time.Duration(float64(tx) / scale)
 	c.linkFree = start.Add(txScaled)
-	arrival := c.linkFree.Add(time.Duration(float64(c.cfg.Latency) / scale))
+	arrival := c.linkFree.Add(time.Duration(float64(c.cfg.Latency)/scale) + extra)
 	c.mu.Unlock()
 	// Send borrows frame, but the mailbox holds it until its modelled arrival,
 	// so copy into pooled storage; Poll recycles it after delivery.

@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"testing"
+
+	"nexus/internal/buffer"
+)
+
+// FuzzDecodeTable checks that DecodeTable never panics or over-allocates on
+// hostile input — tables arrive from untrusted peers — and that anything it
+// accepts survives a re-encode/re-decode round trip.
+func FuzzDecodeTable(f *testing.F) {
+	good := NewTable(
+		Descriptor{Method: "tcp", Context: 7, Attrs: map[string]string{"addr": "127.0.0.1:9000"}},
+		Descriptor{Method: "mpl", Context: 7, Attrs: map[string]string{"partition": "p0", "fabric": "default"}},
+	)
+	gb := buffer.New(64)
+	good.Encode(gb)
+	f.Add(gb.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{1})             // format byte only, no count
+	f.Add([]byte{1, 0xFF, 0xFF}) // 65535 entries, no bytes behind them
+	f.Add([]byte{1, 0, 2, 0, 0, 0, 1, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := buffer.FromBytes(data)
+		if err != nil {
+			return
+		}
+		tbl, err := DecodeTable(b)
+		if err != nil {
+			return
+		}
+		// A hostile count must never produce a table larger than the input
+		// could possibly encode.
+		if tbl.Len()*minEntryBytes > len(data) {
+			t.Fatalf("decoded %d entries from %d input bytes", tbl.Len(), len(data))
+		}
+		// Accepted tables round-trip. (Attr maps re-encode in sorted key
+		// order, so compare decoded forms, not raw bytes.)
+		rb := buffer.New(len(data))
+		tbl.Encode(rb)
+		re, err := buffer.FromBytes(rb.Encode())
+		if err != nil {
+			t.Fatalf("re-encoded table not wrappable: %v", err)
+		}
+		tbl2, err := DecodeTable(re)
+		if err != nil {
+			t.Fatalf("re-encoded table not decodable: %v", err)
+		}
+		if !tbl.Equal(tbl2) {
+			t.Fatalf("table round-trip mismatch: %v vs %v", tbl, tbl2)
+		}
+	})
+}

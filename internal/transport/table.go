@@ -135,11 +135,25 @@ func (t *Table) Encode(b *buffer.Buffer) {
 	}
 }
 
-// DecodeTable unpacks a table encoded with Encode.
+// Minimum encoded sizes, used to validate hostile length fields before any
+// allocation sized by them: an entry is at least a 4-byte string length
+// prefix + an 8-byte context + a 2-byte attribute count; an attribute is at
+// least two 4-byte string length prefixes.
+const (
+	minEntryBytes = 4 + 8 + 2
+	minAttrBytes  = 4 + 4
+)
+
+// DecodeTable unpacks a table encoded with Encode. Length fields are checked
+// against the bytes actually remaining in the buffer, so a hostile or
+// truncated encoding fails cleanly instead of panicking or over-allocating.
 func DecodeTable(b *buffer.Buffer) (*Table, error) {
 	n := int(b.Uint16())
 	if err := b.Err(); err != nil {
 		return nil, fmt.Errorf("transport: decoding table: %w", err)
+	}
+	if n*minEntryBytes > b.Remaining() {
+		return nil, fmt.Errorf("transport: decoding table: %d entries cannot fit in %d bytes", n, b.Remaining())
 	}
 	t := &Table{Entries: make([]Descriptor, 0, n)}
 	for i := 0; i < n; i++ {
@@ -150,6 +164,9 @@ func DecodeTable(b *buffer.Buffer) (*Table, error) {
 		na := int(b.Uint16())
 		if err := b.Err(); err != nil {
 			return nil, fmt.Errorf("transport: decoding table entry %d: %w", i, err)
+		}
+		if na*minAttrBytes > b.Remaining() {
+			return nil, fmt.Errorf("transport: decoding table entry %d: %d attrs cannot fit in %d bytes", i, na, b.Remaining())
 		}
 		if na > 0 {
 			d.Attrs = make(map[string]string, na)

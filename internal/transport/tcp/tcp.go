@@ -50,6 +50,7 @@ type Module struct {
 	env      transport.Env
 	ln       net.Listener
 	inbound  []*inConn
+	outbound map[*outConn]struct{}
 	inited   bool
 	closed   bool
 	acceptWG sync.WaitGroup
@@ -181,7 +182,24 @@ func (m *Module) Dial(remote transport.Descriptor) (transport.Conn, error) {
 		return nil, fmt.Errorf("tcp: dial %s: %w", remote.Attr("addr"), err)
 	}
 	m.tune(c)
-	return newOutConn(c), nil
+	oc := newOutConn(c)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		c.Close()
+		return nil, transport.ErrClosed
+	}
+	if m.outbound == nil {
+		m.outbound = make(map[*outConn]struct{})
+	}
+	m.outbound[oc] = struct{}{}
+	m.mu.Unlock()
+	oc.unregister = func() {
+		m.mu.Lock()
+		delete(m.outbound, oc)
+		m.mu.Unlock()
+	}
+	return oc, nil
 }
 
 // Poll performs one readiness scan over all inbound connections, delivering
@@ -282,12 +300,20 @@ func (m *Module) Close() error {
 	ln := m.ln
 	conns := m.inbound
 	m.inbound = nil
+	out := make([]*outConn, 0, len(m.outbound))
+	for oc := range m.outbound {
+		out = append(out, oc)
+	}
+	m.outbound = nil
 	m.mu.Unlock()
 	if ln != nil {
 		ln.Close()
 	}
 	for _, ic := range conns {
 		ic.c.Close()
+	}
+	for _, oc := range out {
+		oc.tearDown()
 	}
 	m.acceptWG.Wait()
 	m.readWG.Wait()
@@ -397,6 +423,14 @@ func (ic *inConn) extract(sink transport.Sink) int {
 type outConn struct {
 	c net.Conn
 
+	// unregister removes this conn from the module's outbound set so a later
+	// Dial builds a fresh connection instead of finding a poisoned one; set
+	// by Dial, nil for directly constructed conns. teardown runs the socket
+	// close + unregister exactly once — on the first write error or on Close.
+	unregister func()
+	teardown   sync.Once
+	closeErr   error
+
 	mu      sync.Mutex
 	flushed sync.Cond // broadcast after every drain pass and on error
 	writing bool      // a sender goroutine currently owns the socket
@@ -419,6 +453,7 @@ func (oc *outConn) Send(frame []byte) error {
 	if oc.err != nil {
 		err := oc.err
 		oc.mu.Unlock()
+		oc.tearDown()
 		return err
 	}
 	if !oc.writing {
@@ -437,7 +472,11 @@ func (oc *outConn) Send(frame []byte) error {
 			oc.err = werr
 		}
 		oc.drainLocked() // flush whatever queued up while we wrote
+		failed := oc.err != nil
 		oc.mu.Unlock()
+		if failed {
+			oc.tearDown()
+		}
 		return werr
 	}
 	// Slow path: a write is in flight. Queue the frame (copying — the
@@ -461,8 +500,26 @@ func (oc *outConn) Send(frame []byte) error {
 		// errors are not ours to report.
 		err = nil
 	}
+	failed := oc.err != nil
 	oc.mu.Unlock()
+	if failed {
+		oc.tearDown()
+	}
 	return err
+}
+
+// tearDown closes the socket and unregisters the conn from its module, once.
+// It runs on the first observed write error — so the poisoned socket is
+// released immediately and a later Dial to the same peer starts fresh — and
+// on Close.
+func (oc *outConn) tearDown() error {
+	oc.teardown.Do(func() {
+		oc.closeErr = oc.c.Close()
+		if oc.unregister != nil {
+			oc.unregister()
+		}
+	})
+	return oc.closeErr
 }
 
 // drainLocked writes queued frames until the queue is empty, then retires
@@ -497,4 +554,4 @@ func (oc *outConn) drainLocked() {
 }
 
 func (oc *outConn) Method() string { return Name }
-func (oc *outConn) Close() error   { return oc.c.Close() }
+func (oc *outConn) Close() error   { return oc.tearDown() }

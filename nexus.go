@@ -78,6 +78,20 @@ type (
 	Selector = core.Selector
 	// MethodInfo is the per-method enquiry record.
 	MethodInfo = core.MethodInfo
+	// HealthConfig tunes the per-context link health registry.
+	HealthConfig = core.HealthConfig
+	// HealthInfo is one (method, peer) circuit's state in a health snapshot.
+	HealthInfo = core.HealthInfo
+	// CircuitState is a health circuit's position in the breaker state
+	// machine.
+	CircuitState = core.CircuitState
+)
+
+// Circuit-breaker states reported by Context.HealthSnapshot.
+const (
+	CircuitClosed   = core.CircuitClosed
+	CircuitOpen     = core.CircuitOpen
+	CircuitHalfOpen = core.CircuitHalfOpen
 )
 
 // Core constructors, selection policies, and helpers.
@@ -94,6 +108,9 @@ var (
 	CheapestPoll core.Selector = core.CheapestPoll
 	// PreferOrder builds a programmer-directed selection policy.
 	PreferOrder = core.PreferOrder
+	// HealthAware wraps a selector so it skips methods whose circuit is
+	// open in the sending context's health registry.
+	HealthAware = core.HealthAware
 	// TransferStartpoint copies a startpoint into another context.
 	TransferStartpoint = core.TransferStartpoint
 	// RewriteForForwarder points a table's method entry at a forwarder.
