@@ -45,6 +45,9 @@ func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
 // methods that stayed idle are throttled geometrically up to MaxSkip (their
 // polls are pure overhead). Cheap methods are left alone.
 //
+// Methods whose skip_poll was set manually (SetSkipPoll) are pinned and left
+// alone; UnpinSkipPoll hands them back to the tuner.
+//
 // It returns a stop function that blocks until the tuner exits. The tuner
 // only adjusts skip values; it does not poll — pair it with StartPoller or
 // an application polling loop.
@@ -109,7 +112,7 @@ func (c *Context) adaptOnce(cfg AdaptiveConfig, lastFrames map[string]uint64) {
 		case frames > prev:
 			// Traffic observed: poll eagerly again.
 			if cur != 1 {
-				_ = c.SetSkipPoll(ms.name, 1)
+				_ = c.applySkipPoll(ms.name, 1, false)
 			}
 		default:
 			// Idle: back off geometrically.
@@ -118,7 +121,7 @@ func (c *Context) adaptOnce(cfg AdaptiveConfig, lastFrames map[string]uint64) {
 				next = cfg.MaxSkip
 			}
 			if next != cur {
-				_ = c.SetSkipPoll(ms.name, next)
+				_ = c.applySkipPoll(ms.name, next, false)
 			}
 		}
 	}

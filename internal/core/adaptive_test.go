@@ -77,6 +77,53 @@ func TestAdaptiveSnapsBackOnTraffic(t *testing.T) {
 	}
 }
 
+// TestAdaptivePinning is the regression test for the tuner clobbering manual
+// skip_poll choices: a value set via SetSkipPoll is pinned and survives both
+// the adaptive tuner and AutoSkipPoll until UnpinSkipPoll releases it.
+func TestAdaptivePinning(t *testing.T) {
+	c := adaptCtx(t, "adapt-pin")
+	if err := c.SetSkipPoll("wan", 7); err != nil {
+		t.Fatal(err)
+	}
+	last := make(map[string]uint64)
+	cfg := AdaptiveConfig{MaxSkip: 64}
+	for i := 0; i < 10; i++ {
+		c.adaptOnce(cfg, last)
+	}
+	if got := c.SkipPoll("wan"); got != 7 {
+		t.Errorf("pinned wan skip after tuner rounds = %d, want 7", got)
+	}
+	c.AutoSkipPoll()
+	if got := c.SkipPoll("wan"); got != 7 {
+		t.Errorf("pinned wan skip after AutoSkipPoll = %d, want 7", got)
+	}
+	// The unpinned mpl module is still the tuner's to manage.
+	var pinned, unpinned bool
+	for _, mi := range c.Methods() {
+		switch mi.Name {
+		case "wan":
+			pinned = mi.Pinned
+		case "mpl":
+			unpinned = mi.Pinned
+		}
+	}
+	if !pinned || unpinned {
+		t.Errorf("Pinned flags: wan=%v mpl=%v, want true/false", pinned, unpinned)
+	}
+
+	// Unpin: the next idle rounds back wan off geometrically from 7.
+	if err := c.UnpinSkipPoll("wan"); err != nil {
+		t.Fatal(err)
+	}
+	c.adaptOnce(cfg, last)
+	if got := c.SkipPoll("wan"); got != 14 {
+		t.Errorf("unpinned wan skip after one idle round = %d, want 14", got)
+	}
+	if err := c.UnpinSkipPoll("nope"); err == nil {
+		t.Error("UnpinSkipPoll on unknown method: want error")
+	}
+}
+
 func TestAdaptiveBackgroundTuner(t *testing.T) {
 	c := adaptCtx(t, "adapt-bg")
 	stop := c.StartAdaptiveSkipPoll(AdaptiveConfig{Interval: time.Millisecond, MaxSkip: 32})

@@ -77,10 +77,16 @@ type Options struct {
 	// Methods lists the enabled methods in descriptor-table preference
 	// order. The "local" method is always enabled and listed first.
 	Methods []MethodConfig
-	// Threaded runs each incoming RSR handler in its own goroutine (the
-	// Nexus threaded-handler model). Default: handlers run inline on the
-	// goroutine that detected the message.
+	// Threaded runs incoming RSR handlers on the context's dispatch engine —
+	// a sharded pool of worker lanes — instead of inline on the goroutine
+	// that detected the message (the Nexus threaded-handler model). Frames
+	// are hashed to a lane by destination endpoint, so deliveries to one
+	// endpoint stay FIFO while distinct endpoints execute in parallel.
+	// Default: handlers run inline on the detecting goroutine.
 	Threaded bool
+	// Dispatch tunes the threaded dispatch engine (lane count, queue depth,
+	// backpressure policy). Ignored unless Threaded is set.
+	Dispatch DispatchConfig
 	// Selector chooses among applicable methods (default FirstApplicable).
 	Selector Selector
 	// PollOnRSR performs an opportunistic poll pass on every RSR send,
@@ -104,7 +110,6 @@ type Context struct {
 	id        transport.ContextID
 	process   string
 	partition string
-	threaded  bool
 	selector  Selector // as configured
 	healthSel Selector // selector wrapped with circuit filtering
 	pollOnRSR bool
@@ -123,14 +128,27 @@ type Context struct {
 	cBytesRecv   *metrics.Counter
 	cPollPasses  *metrics.Counter
 	cRSRFailover *metrics.Counter
+	cDropUnkEP   *metrics.Counter // rsr.dropped.unknown_endpoint
+	cDropUnkH    *metrics.Counter // rsr.dropped.unknown_handler
+
+	// The dispatch fast path resolves endpoints and handlers through
+	// copy-on-write tables: readers load the current map with one atomic
+	// pointer load and never lock; writers (RegisterHandler, NewEndpoint,
+	// close paths) copy-mutate-swap under mu. The gate lets table writers
+	// wait out in-flight deliveries (see dispatch.go).
+	endpoints atomic.Pointer[map[uint64]*Endpoint]
+	handlers  atomic.Pointer[map[string]HandlerFunc]
+	gate      dispatchGate
+
+	// dispatcher is the threaded-mode worker pool (nil when not threaded).
+	// Set once at construction, before any frame can arrive.
+	dispatcher *dispatcher
 
 	mu         sync.RWMutex
 	modules    []*moduleState
 	byMethod   map[string]*moduleState
 	advertised *transport.Table
-	endpoints  map[uint64]*Endpoint
 	nextEP     uint64
-	handlers   map[string]HandlerFunc
 	conns      map[connKey]*sharedConn
 	peerTables map[transport.ContextID]*transport.Table
 	forwarder  bool
@@ -148,8 +166,12 @@ type moduleState struct {
 
 	// skip and countdown implement skip_poll; both are guarded by the
 	// context's pollMu except for reads through the atomic skipAtomic.
+	// pinned (same guard) marks a value set manually via SetSkipPoll:
+	// automatic tuners (AutoSkipPoll, StartAdaptiveSkipPoll) leave pinned
+	// modules alone until UnpinSkipPoll.
 	skip       int
 	countdown  int
+	pinned     bool
 	skipAtomic atomic.Int64
 
 	// consecPollErrs and pollDisabled implement receive-path supervision:
@@ -186,19 +208,20 @@ func NewContext(opts Options) (*Context, error) {
 		id:         id,
 		process:    proc,
 		partition:  opts.Partition,
-		threaded:   opts.Threaded,
 		selector:   sel,
 		healthSel:  HealthAware(sel),
 		pollOnRSR:  !opts.DisablePollOnRSR,
 		stats:      metrics.NewSet(),
 		registry:   reg,
 		byMethod:   make(map[string]*moduleState),
-		endpoints:  make(map[uint64]*Endpoint),
-		handlers:   make(map[string]HandlerFunc),
 		conns:      make(map[connKey]*sharedConn),
 		peerTables: make(map[transport.ContextID]*transport.Table),
 		advertised: transport.NewTable(),
 	}
+	eps := make(map[uint64]*Endpoint)
+	c.endpoints.Store(&eps)
+	hs := make(map[string]HandlerFunc)
+	c.handlers.Store(&hs)
 	c.health = newHealthRegistry(opts.Health, c.stats)
 	c.cRSRSent = c.stats.Counter("rsr.sent")
 	c.cRSRRecv = c.stats.Counter("rsr.recv")
@@ -206,6 +229,11 @@ func NewContext(opts Options) (*Context, error) {
 	c.cBytesRecv = c.stats.Counter("bytes.recv")
 	c.cPollPasses = c.stats.Counter("poll.passes")
 	c.cRSRFailover = c.stats.Counter("rsr.failover")
+	c.cDropUnkEP = c.stats.Counter("rsr.dropped.unknown_endpoint")
+	c.cDropUnkH = c.stats.Counter("rsr.dropped.unknown_handler")
+	if opts.Threaded {
+		c.dispatcher = newDispatcher(c, opts.Dispatch)
+	}
 	c.errlog = opts.ErrorLog
 	if c.errlog == nil {
 		dropped := c.stats.Counter("errors.dropped")
@@ -348,18 +376,39 @@ func (c *Context) SetAdvertisedTable(t *transport.Table) {
 }
 
 // RegisterHandler installs a handler under the given name. Incoming RSRs
-// name the handler to invoke.
+// name the handler to invoke. The handler table is copy-on-write: the swap
+// costs one map copy here so that every dispatch costs zero locks.
 func (c *Context) RegisterHandler(name string, fn HandlerFunc) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.handlers[name] = fn
+	old := *c.handlers.Load()
+	next := make(map[string]HandlerFunc, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = fn
+	c.handlers.Store(&next)
+	c.mu.Unlock()
 }
 
-// UnregisterHandler removes a named handler.
+// UnregisterHandler removes a named handler. When it returns, no frame will
+// be delivered to the removed handler anymore: the new handler table is
+// published and the dispatch gate is drained, waiting out every delivery
+// that could have resolved the old table (including handlers still running
+// on dispatch lanes). Because of that wait, UnregisterHandler must not be
+// called synchronously from inside a handler of the same context — do it
+// from outside, or from a separate goroutine.
 func (c *Context) UnregisterHandler(name string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.handlers, name)
+	old := *c.handlers.Load()
+	next := make(map[string]HandlerFunc, len(old))
+	for k, v := range old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	c.handlers.Store(&next)
+	c.mu.Unlock()
+	c.gate.drain()
 }
 
 // RegisterPeerTable records another context's descriptor table, used to
@@ -388,8 +437,11 @@ func (c *Context) PeerTable(id transport.ContextID) *transport.Table {
 // if this context is a forwarder). dispatch borrows the frame: the caller
 // (the delivering module, or a local send) may recycle it as soon as
 // dispatch returns, so nothing here retains frame-aliasing storage — the
-// threaded mode clones the payload before handing it to the handler
-// goroutine, and non-threaded handlers run to completion inside this call.
+// threaded engine moves the bytes into pooled storage before queueing, and
+// inline handlers run to completion inside this call. The endpoint-handler
+// fast path performs zero mutex acquisitions and zero payload copies: the
+// frame decodes onto the stack, the tables resolve through atomic pointer
+// loads, and the handler's buffer aliases the frame bytes.
 func (c *Context) dispatch(frame []byte) {
 	var f wire.Frame // stack-decoded: one frame arrives per delivery
 	if err := wire.DecodeInto(&f, frame); err != nil {
@@ -402,16 +454,27 @@ func (c *Context) dispatch(frame []byte) {
 	}
 	c.cRSRRecv.Inc()
 	c.cBytesRecv.Add(uint64(len(frame)))
+	if c.dispatcher != nil {
+		c.dispatcher.enqueue(f.DestEndpoint, frame)
+		return
+	}
+	c.deliver(&f)
+}
 
-	c.mu.RLock()
-	ep := c.endpoints[f.DestEndpoint]
+// deliver resolves a decoded frame against the copy-on-write tables and
+// invokes the handler. It runs bracketed by the dispatch gate, which is what
+// UnregisterHandler drains to guarantee no delivery resolves a stale table
+// after it returns.
+func (c *Context) deliver(f *wire.Frame) {
+	parity := c.gate.enter()
+	defer c.gate.exit(parity)
+	ep := (*c.endpoints.Load())[f.DestEndpoint]
 	var fn HandlerFunc
 	if f.Handler != "" {
-		fn = c.handlers[f.Handler]
+		fn = (*c.handlers.Load())[f.Handler]
 	}
-	c.mu.RUnlock()
-
 	if ep == nil {
+		c.cDropUnkEP.Inc()
 		c.errlog(fmt.Errorf("core: context %d: endpoint %d: %w", c.id, f.DestEndpoint, ErrUnknownEndpoint))
 		return
 	}
@@ -419,6 +482,7 @@ func (c *Context) dispatch(frame []byte) {
 		fn = ep.handler
 	}
 	if fn == nil {
+		c.cDropUnkH.Inc()
 		c.errlog(fmt.Errorf("core: context %d: handler %q: %w", c.id, f.Handler, ErrUnknownHandler))
 		return
 	}
@@ -427,11 +491,7 @@ func (c *Context) dispatch(frame []byte) {
 		c.errlog(fmt.Errorf("core: context %d: bad payload: %w", c.id, err))
 		return
 	}
-	if c.threaded {
-		go fn(ep, b.Clone()) // the goroutine outlives the borrowed frame
-	} else {
-		fn(ep, b)
-	}
+	fn(ep, b)
 }
 
 // Closed reports whether the context has been closed.
@@ -464,6 +524,11 @@ func (c *Context) Close() error {
 		if err := ms.module.Close(); err != nil {
 			errs = append(errs, err.Error())
 		}
+	}
+	if c.dispatcher != nil {
+		// Lane workers exit on their next receive; frames still queued are
+		// abandoned, handlers already running finish on their own.
+		c.dispatcher.stop()
 	}
 	if len(errs) > 0 {
 		return fmt.Errorf("core: closing context %d: %s", c.id, strings.Join(errs, "; "))

@@ -395,7 +395,15 @@ func TestStartpointCarriedInsideRSR(t *testing.T) {
 
 func TestThreadedHandlers(t *testing.T) {
 	tag := "threaded"
-	recvOpts := Options{Methods: []MethodConfig{{Name: "inproc", Params: transport.Params{"exchange": tag}}}, Threaded: true}
+	// Dispatch lanes are keyed by destination endpoint: RSRs to one endpoint
+	// stay FIFO, so the slow and fast handlers must live on DIFFERENT
+	// endpoints to run concurrently. Endpoint ids count up from 1, so with 4
+	// lanes ids 1 and 2 land on distinct lanes.
+	recvOpts := Options{
+		Methods:  []MethodConfig{{Name: "inproc", Params: transport.Params{"exchange": tag}}},
+		Threaded: true,
+		Dispatch: DispatchConfig{Lanes: 4},
+	}
 	recv, err := NewContext(recvOpts)
 	if err != nil {
 		t.Fatal(err)
@@ -422,12 +430,14 @@ func TestThreadedHandlers(t *testing.T) {
 		mu.Unlock()
 		close(block)
 	})
-	ep := recv.NewEndpoint()
-	sp := transferStartpoint(t, ep.NewStartpoint(), send, false)
-	if err := sp.RSR("slow", nil); err != nil {
+	epSlow := recv.NewEndpoint()
+	epFast := recv.NewEndpoint()
+	spSlow := transferStartpoint(t, epSlow.NewStartpoint(), send, false)
+	spFast := transferStartpoint(t, epFast.NewStartpoint(), send, false)
+	if err := spSlow.RSR("slow", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := sp.RSR("fast", nil); err != nil {
+	if err := spFast.RSR("fast", nil); err != nil {
 		t.Fatal(err)
 	}
 	// With threaded handlers, the blocked "slow" handler cannot wedge the
@@ -480,6 +490,12 @@ func TestUnknownHandlerAndEndpointCounted(t *testing.T) {
 		t.Fatalf("errors = %v", errs)
 	}
 	mu.Unlock()
+	if got := recv.cDropUnkH.Load(); got != 1 {
+		t.Errorf("rsr.dropped.unknown_handler = %d, want 1", got)
+	}
+	if got := recv.cDropUnkEP.Load(); got != 0 {
+		t.Errorf("rsr.dropped.unknown_endpoint = %d, want 0", got)
+	}
 
 	// RSR to a closed endpoint reports ErrUnknownEndpoint.
 	ep2 := recv.NewEndpoint(WithHandler(func(*Endpoint, *buffer.Buffer) {}))
@@ -493,6 +509,9 @@ func TestUnknownHandlerAndEndpointCounted(t *testing.T) {
 	defer mu.Unlock()
 	if len(errs) != 2 || !errors.Is(errs[1], ErrUnknownEndpoint) {
 		t.Fatalf("errors = %v", errs)
+	}
+	if got := recv.cDropUnkEP.Load(); got != 1 {
+		t.Errorf("rsr.dropped.unknown_endpoint = %d, want 1", got)
 	}
 }
 

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nexus/internal/bufpool"
+	"nexus/internal/metrics"
+	"nexus/internal/wire"
+)
+
+// This file implements the concurrent dispatch engine: the receive-side twin
+// of the zero-copy send path. The paper's threaded-handler model ("threads
+// allow handlers to execute concurrently with polling") used to spawn one
+// goroutine plus one payload clone per incoming RSR; here it is a fixed pool
+// of worker lanes with bounded FIFO queues. Frames are hashed to a lane by
+// destination endpoint, so deliveries to one endpoint stay in arrival order
+// while distinct endpoints execute in parallel, and the hand-off reuses the
+// bufpool storage contract instead of allocating.
+//
+// The hot-path tables (endpoints, handlers) live in copy-on-write maps behind
+// atomic pointers (see context.go), so resolution costs zero lock
+// acquisitions per frame. A small epoch gate brackets every delivery;
+// UnregisterHandler drains it after swapping the table, which is what makes
+// "no frame reaches a stale handler after UnregisterHandler returns" true
+// under full concurrency.
+
+// DispatchPolicy selects what the dispatch engine does with an inbound frame
+// whose lane queue is full.
+type DispatchPolicy int
+
+const (
+	// DispatchBlock applies backpressure: the delivering poller blocks until
+	// the lane has room (or the context closes). Per-endpoint FIFO ordering
+	// is preserved. This is the default.
+	DispatchBlock DispatchPolicy = iota
+	// DispatchInline runs the overflowing frame's handler inline on the
+	// delivering goroutine instead of blocking it. Detection keeps running
+	// at full speed under overload, at the cost of per-endpoint ordering:
+	// the inline frame can overtake frames still queued in its lane.
+	DispatchInline
+)
+
+// DispatchConfig tunes the threaded dispatch engine. The zero value selects
+// defaults; it is ignored unless Options.Threaded is set.
+type DispatchConfig struct {
+	// Lanes is the number of worker lanes (default GOMAXPROCS). Frames are
+	// hashed to a lane by destination endpoint id, so deliveries to one
+	// endpoint are FIFO while different endpoints run in parallel.
+	Lanes int
+	// QueueDepth is each lane's bounded queue capacity (default 256).
+	QueueDepth int
+	// OnFull selects the backpressure policy when a lane queue is full.
+	OnFull DispatchPolicy
+}
+
+func (c DispatchConfig) withDefaults() DispatchConfig {
+	if c.Lanes < 1 {
+		c.Lanes = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// dispatcher is the sharded worker pool behind a threaded context.
+type dispatcher struct {
+	ctx      *Context
+	lanes    []chan []byte
+	done     chan struct{}
+	stopOnce sync.Once
+	onFull   DispatchPolicy
+
+	cFull   *metrics.Counter // dispatch.queue_full: lane-full events
+	cInline *metrics.Counter // dispatch.inline: frames run inline under overload
+}
+
+func newDispatcher(c *Context, cfg DispatchConfig) *dispatcher {
+	cfg = cfg.withDefaults()
+	d := &dispatcher{
+		ctx:     c,
+		lanes:   make([]chan []byte, cfg.Lanes),
+		done:    make(chan struct{}),
+		onFull:  cfg.OnFull,
+		cFull:   c.stats.Counter("dispatch.queue_full"),
+		cInline: c.stats.Counter("dispatch.inline"),
+	}
+	for i := range d.lanes {
+		d.lanes[i] = make(chan []byte, cfg.QueueDepth)
+		go d.run(d.lanes[i])
+	}
+	return d
+}
+
+// enqueue hands one inbound frame to the worker pool. The caller borrows the
+// frame (the Sink.Deliver contract), so the bytes are moved into pooled
+// storage that the lane worker returns to the pool after delivery — the
+// hand-off costs one copy and zero allocations in steady state, where the
+// old threaded mode paid a goroutine spawn plus a cloned payload.
+func (d *dispatcher) enqueue(destEP uint64, frame []byte) {
+	buf := bufpool.Get(len(frame))
+	copy(buf, frame)
+	lane := d.lanes[destEP%uint64(len(d.lanes))]
+	select {
+	case lane <- buf:
+		return
+	default:
+	}
+	d.cFull.Inc()
+	if d.onFull == DispatchInline {
+		d.cInline.Inc()
+		d.ctx.deliverFrame(buf)
+		bufpool.Put(buf)
+		return
+	}
+	select {
+	case lane <- buf:
+	case <-d.done:
+		bufpool.Put(buf)
+	}
+}
+
+// run is one lane worker: it owns its queue's FIFO order and returns each
+// frame's storage to the pool after the handler completes.
+func (d *dispatcher) run(lane chan []byte) {
+	for {
+		select {
+		case <-d.done:
+			return
+		case buf := <-lane:
+			d.ctx.deliverFrame(buf)
+			bufpool.Put(buf)
+		}
+	}
+}
+
+// stop signals every lane worker to exit. Queued frames are abandoned (the
+// context is closing); handlers already running finish on their own.
+func (d *dispatcher) stop() {
+	d.stopOnce.Do(func() { close(d.done) })
+}
+
+// deliverFrame re-decodes a pooled frame on a lane worker and delivers it.
+// The decode is a handful of bounds checks against bytes already in cache —
+// re-running it here keeps the queue item a bare byte slice and, more
+// importantly, re-resolves the endpoint/handler tables at execution time, so
+// a frame queued before an UnregisterHandler cannot reach the removed
+// handler after it.
+func (c *Context) deliverFrame(frame []byte) {
+	var f wire.Frame
+	if err := wire.DecodeInto(&f, frame); err != nil {
+		c.errlog(fmt.Errorf("core: context %d: bad frame: %w", c.id, err))
+		return
+	}
+	c.deliver(&f)
+}
+
+// dispatchGate brackets every delivery so table writers can wait out
+// in-flight readers without putting a lock on the per-frame path. It is an
+// epoch pair: enter increments the counter of the current epoch's parity and
+// validates that the epoch did not move mid-entry; drain flips the epoch and
+// spins until the old parity's counter reaches zero. New deliveries land in
+// the new parity (and resolve the new tables), so the wait is bounded even
+// under a continuous frame flood.
+type dispatchGate struct {
+	epoch   atomic.Uint64
+	active  [2]gateCounter
+	drainMu sync.Mutex
+}
+
+// gateCounter is padded so the two parities do not share a cache line with
+// each other or with the epoch word.
+type gateCounter struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// enter registers one in-flight delivery and returns the parity to exit with.
+func (g *dispatchGate) enter() uint64 {
+	for {
+		e := g.epoch.Load()
+		g.active[e&1].n.Add(1)
+		if g.epoch.Load() == e {
+			return e & 1
+		}
+		// A drain flipped the epoch between the load and the increment: the
+		// drainer may already have observed our parity at zero, so our
+		// registration there is void. Undo and re-enter under the new epoch.
+		g.active[e&1].n.Add(-1)
+	}
+}
+
+// exit deregisters a delivery entered under the given parity.
+func (g *dispatchGate) exit(parity uint64) { g.active[parity].n.Add(-1) }
+
+// drain waits until every delivery that may have observed the previous table
+// snapshots has completed. Callers must not hold the context mutex (a
+// running handler may be acquiring it) and must not be inside a delivery
+// themselves: a handler that synchronously unregisters handlers on its own
+// context would wait for its own gate entry. Do such maintenance from
+// outside the handler, or from a fresh goroutine.
+func (g *dispatchGate) drain() {
+	g.drainMu.Lock()
+	defer g.drainMu.Unlock()
+	old := g.epoch.Load() & 1
+	g.epoch.Add(1)
+	for g.active[old].n.Load() != 0 {
+		runtime.Gosched()
+	}
+}

@@ -27,7 +27,9 @@ func WithData(v any) EndpointOption {
 	return func(ep *Endpoint) { ep.data = v }
 }
 
-// NewEndpoint creates an endpoint in the context.
+// NewEndpoint creates an endpoint in the context. The endpoint table is
+// copy-on-write (the dispatch fast path resolves it with one atomic load),
+// so creation costs one map copy.
 func (c *Context) NewEndpoint(opts ...EndpointOption) *Endpoint {
 	ep := &Endpoint{ctx: c}
 	for _, o := range opts {
@@ -37,7 +39,13 @@ func (c *Context) NewEndpoint(opts ...EndpointOption) *Endpoint {
 	defer c.mu.Unlock()
 	c.nextEP++
 	ep.id = c.nextEP
-	c.endpoints[ep.id] = ep
+	old := *c.endpoints.Load()
+	next := make(map[uint64]*Endpoint, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[ep.id] = ep
+	c.endpoints.Store(&next)
 	return ep
 }
 
@@ -54,11 +62,22 @@ func (ep *Endpoint) Data() any { return ep.data }
 func (ep *Endpoint) SetData(v any) { ep.data = v }
 
 // Close destroys the endpoint; subsequent RSRs addressed to it are dropped
-// with ErrUnknownEndpoint.
+// with ErrUnknownEndpoint (counted as rsr.dropped.unknown_endpoint).
+// Deliveries already in flight when Close is called may still reach the
+// endpoint's handler; Close does not wait for them, so it is safe to call
+// from inside a handler.
 func (ep *Endpoint) Close() {
-	ep.ctx.mu.Lock()
-	defer ep.ctx.mu.Unlock()
-	delete(ep.ctx.endpoints, ep.id)
+	c := ep.ctx
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := *c.endpoints.Load()
+	next := make(map[uint64]*Endpoint, len(old))
+	for k, v := range old {
+		if k != ep.id {
+			next[k] = v
+		}
+	}
+	c.endpoints.Store(&next)
 }
 
 // NewStartpoint creates a startpoint linked to this endpoint. The startpoint

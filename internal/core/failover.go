@@ -60,7 +60,7 @@ func (sp *Startpoint) failoverTarget(t *target, enc []byte, firstErr error) erro
 			owner.invalidateConn(t.conn)
 			continue
 		}
-		t.reportUp = false
+		t.reportUp.Store(false)
 		owner.health.reportSuccess(t.method, t.context)
 		owner.health.cResends.Inc()
 		owner.cRSRFailover.Inc()
@@ -75,10 +75,14 @@ func (sp *Startpoint) failoverTarget(t *target, enc []byte, firstErr error) erro
 // which case the existing communication object is kept. A link whose method
 // was chosen manually (SetMethod) is left alone. Caller holds sp.mu.
 func (sp *Startpoint) refreshTarget(t *target, gen uint64) {
+	// Stamp the generation first: a manually pinned link is never
+	// re-selected, but it must still be considered current, or the published
+	// snapshot would read as stale forever and every send would take the
+	// locked slow path.
+	t.healthGen = gen
 	if t.manual {
 		return
 	}
-	t.healthGen = gen
 	table, err := sp.tableFor(t)
 	if err != nil {
 		return // keep the current binding; sends surface the real error

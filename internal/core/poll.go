@@ -122,8 +122,30 @@ func (c *Context) PollUntil(pred func() bool, timeout time.Duration) bool {
 }
 
 // SetSkipPoll sets the skip_poll parameter for one method: the method is
-// polled on every k-th pass. k < 1 is treated as 1.
+// polled on every k-th pass. k < 1 is treated as 1. A value set this way is
+// pinned: automatic tuners (AutoSkipPoll, StartAdaptiveSkipPoll) will not
+// overwrite it until UnpinSkipPoll releases the method back to them.
 func (c *Context) SetSkipPoll(method string, k int) error {
+	return c.applySkipPoll(method, k, true)
+}
+
+// UnpinSkipPoll releases a method pinned by SetSkipPoll back to automatic
+// skip_poll tuning. The current skip value is kept until a tuner moves it.
+func (c *Context) UnpinSkipPoll(method string) error {
+	ms := c.moduleFor(method)
+	if ms == nil {
+		return fmt.Errorf("core: %w: %q", ErrUnknownMethod, method)
+	}
+	c.pollMu.Lock()
+	ms.pinned = false
+	c.pollMu.Unlock()
+	return nil
+}
+
+// applySkipPoll is the shared skip_poll writer. pin=true (SetSkipPoll) marks
+// the module as manually controlled; pin=false (the automatic tuners) is a
+// no-op on pinned modules, so a manual choice survives a running tuner.
+func (c *Context) applySkipPoll(method string, k int, pin bool) error {
 	if k < 1 {
 		k = 1
 	}
@@ -132,6 +154,12 @@ func (c *Context) SetSkipPoll(method string, k int) error {
 		return fmt.Errorf("core: %w: %q", ErrUnknownMethod, method)
 	}
 	c.pollMu.Lock()
+	if pin {
+		ms.pinned = true
+	} else if ms.pinned {
+		c.pollMu.Unlock()
+		return nil
+	}
 	ms.skip = k
 	if ms.countdown >= k {
 		ms.countdown = k - 1
@@ -183,7 +211,7 @@ func (c *Context) AutoSkipPoll() {
 		if k < 1 {
 			k = 1
 		}
-		_ = c.SetSkipPoll(ms.name, k)
+		_ = c.applySkipPoll(ms.name, k, false)
 	}
 }
 
@@ -282,6 +310,9 @@ type MethodInfo struct {
 	Descriptor *transport.Descriptor
 	// SkipPoll is the current skip_poll value.
 	SkipPoll int
+	// Pinned reports whether the skip_poll value was set manually
+	// (SetSkipPoll) and is therefore off-limits to automatic tuners.
+	Pinned bool
 	// Blocking reports whether the method uses blocking detection.
 	Blocking bool
 	// Polls is the number of module polls performed so far.
@@ -307,6 +338,7 @@ func (c *Context) Methods() []MethodInfo {
 		mi := MethodInfo{
 			Name:     ms.name,
 			SkipPoll: ms.skip,
+			Pinned:   ms.pinned,
 			Blocking: ms.blocking,
 			Polls:    ms.polls.Load(),
 			Frames:   ms.frames.Load(),

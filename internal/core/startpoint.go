@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nexus/internal/buffer"
 	"nexus/internal/bufpool"
@@ -23,6 +24,39 @@ type Startpoint struct {
 	mu       sync.Mutex
 	targets  []*target
 	failover bool
+
+	// snap is the published send snapshot: an immutable view of the link set
+	// that concurrent senders read with one atomic load instead of queueing
+	// on mu. Mutators rebuild it under mu (publishLocked); senders fall back
+	// to the locked slow path only when the snapshot is missing, incomplete,
+	// or stale against the health registry's generation.
+	snap atomic.Pointer[sendSnapshot]
+}
+
+// sendSnapshot is an immutable publication of a startpoint's link set. The
+// lock-free send path trusts it as long as its generation matches the health
+// registry and no probe is due; everything else goes through prepare.
+type sendSnapshot struct {
+	// gen is the oldest health-registry generation any link was selected
+	// under; the snapshot is stale once the registry moves past it.
+	gen uint64
+	// ready means every link is bound to a live communication object with no
+	// deferred selection error, i.e. the snapshot can be sent on as-is.
+	ready    bool
+	failover bool
+	links    []sendLink
+}
+
+// sendLink is one link's frozen binding inside a snapshot.
+type sendLink struct {
+	t        *target
+	context  transport.ContextID
+	endpoint uint64
+	method   string
+	conn     *sharedConn
+	// selErr carries a selection failure deferred to send time (failover
+	// mode): the link gets its frame via the failover loop instead.
+	selErr error
 }
 
 // target is one communication link: a remote (or local) endpoint plus the
@@ -40,11 +74,15 @@ type target struct {
 	healthGen uint64
 	// reportUp marks a freshly bound communication object whose first
 	// successful send should be reported to the health registry (it may be
-	// the probe that closes a half-open circuit).
-	reportUp bool
+	// the probe that closes a half-open circuit). Atomic because lock-free
+	// senders race to consume it (CompareAndSwap picks the one reporter).
+	reportUp atomic.Bool
 	// manual pins a method chosen via SetMethod: health transitions do not
 	// re-select it (send failures with failover enabled still do).
 	manual bool
+	// selErr records a selection failure deferred to send time under
+	// failover; cleared each prepare pass.
+	selErr error
 }
 
 // Targets reports the (context, endpoint) pairs this startpoint is linked to.
@@ -75,6 +113,7 @@ func (sp *Startpoint) Owner() *Context { return sp.owner }
 func (sp *Startpoint) SetFailover(on bool) {
 	sp.mu.Lock()
 	sp.failover = on
+	sp.publishLocked()
 	sp.mu.Unlock()
 }
 
@@ -108,6 +147,7 @@ func (sp *Startpoint) Merge(others ...*Startpoint) {
 		}
 		sp.targets = append(sp.targets, nt)
 	}
+	sp.publishLocked()
 }
 
 func (sp *Startpoint) hasTargetLocked(ctx transport.ContextID, ep uint64) bool {
@@ -176,7 +216,10 @@ func (sp *Startpoint) MethodFor(ctx transport.ContextID) string {
 // link's descriptor table and be applicable from the owning context.
 func (sp *Startpoint) SetMethod(name string) error {
 	sp.mu.Lock()
-	defer sp.mu.Unlock()
+	defer func() {
+		sp.publishLocked()
+		sp.mu.Unlock()
+	}()
 	for _, t := range sp.targets {
 		table, err := sp.tableFor(t)
 		if err != nil {
@@ -205,7 +248,10 @@ func (sp *Startpoint) SetMethod(name string) error {
 // first RSR), returning the method chosen for the first link.
 func (sp *Startpoint) SelectMethod() (string, error) {
 	sp.mu.Lock()
-	defer sp.mu.Unlock()
+	defer func() {
+		sp.publishLocked()
+		sp.mu.Unlock()
+	}()
 	for _, t := range sp.targets {
 		if t.conn != nil {
 			continue
@@ -269,7 +315,7 @@ func (sp *Startpoint) bindTarget(t *target, method string, desc transport.Descri
 	}
 	t.conn = sc
 	t.method = method
-	t.reportUp = true
+	t.reportUp.Store(true)
 	return nil
 }
 
@@ -296,38 +342,20 @@ func (sp *Startpoint) RSR(handler string, b *buffer.Buffer) error {
 // (buffer.EncodeTo). Transports must not retain the frame after Send
 // returns (the transport.Conn contract), which is what makes both the
 // in-place patching and the scratch recycling sound.
+//
+// Concurrent sends on one startpoint do not serialize on sp.mu: the link set
+// is read from the published snapshot (one atomic load), validated against
+// the health registry's generation, and senders synchronize only at the
+// transport. The locked slow path (prepare, recoverSend) runs only when the
+// snapshot is missing/stale, a probe is due, or a send fails.
 func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	if len(sp.targets) == 0 {
-		return fmt.Errorf("core: RSR on unbound startpoint")
-	}
-	// Bind unbound links; refresh bound ones whose selection is stale — the
-	// health registry moved (a circuit tripped or healed) or an open
-	// circuit's backoff expired and a probe is due. On the healthy path
-	// this costs two atomic loads.
-	gen := sp.owner.health.Gen()
-	probeDue := sp.owner.health.probeDue()
-	var selFail map[*target]error
-	for _, t := range sp.targets {
-		if t.conn == nil {
-			t.healthGen = gen
-			if err := sp.selectTarget(t); err != nil {
-				if !sp.failover {
-					return err
-				}
-				// With failover on, a failed selection still gets the frame:
-				// the failover loop below retries against the remaining
-				// healthy methods once the frame is encoded.
-				if selFail == nil {
-					selFail = make(map[*target]error)
-				}
-				selFail[t] = err
-			}
-			continue
-		}
-		if t.healthGen != gen || probeDue {
-			sp.refreshTarget(t, gen)
+	owner := sp.owner
+	snap := sp.snap.Load()
+	if snap == nil || !snap.ready ||
+		snap.gen != owner.health.Gen() || owner.health.probeDue() {
+		var err error
+		if snap, err = sp.prepare(); err != nil {
+			return err
 		}
 	}
 	payloadLen := 1 // lone format tag for a nil buffer
@@ -338,7 +366,7 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 	enc := bufpool.Get(off + payloadLen)
 	defer bufpool.Put(enc)
 	wire.EncodeHeader(enc, wire.TypeRSR,
-		uint64(sp.targets[0].context), sp.targets[0].endpoint, uint64(sp.owner.id),
+		uint64(snap.links[0].context), snap.links[0].endpoint, uint64(owner.id),
 		handler, payloadLen)
 	if b != nil {
 		b.EncodeTo(enc[off:])
@@ -346,45 +374,155 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 		enc[off] = byte(buffer.NativeFormat)
 	}
 	var errs []error
-	for _, t := range sp.targets {
-		if t.conn == nil {
-			// Selection failed above. Retry it as a failover now that the
-			// frame exists: dial refusals feed the registry, so the loop
-			// moves past a dead method instead of reporting it forever.
-			serr := selFail[t]
-			if serr == nil {
+	for i := range snap.links {
+		l := &snap.links[i]
+		wire.PatchDest(enc, uint64(l.context), l.endpoint)
+		if l.conn == nil {
+			// Selection failed during prepare (failover mode, selErr) —
+			// recover under the lock now that the frame exists.
+			if l.selErr == nil {
 				continue
 			}
-			wire.PatchDest(enc, uint64(t.context), t.endpoint)
-			if ferr := sp.failoverTarget(t, enc, serr); ferr != nil {
-				errs = append(errs, fmt.Errorf("core: RSR to context %d: %w", t.context, ferr))
+			if err, fatal := sp.recoverSend(l, enc, l.selErr); err != nil {
+				if fatal {
+					return err
+				}
+				errs = append(errs, err)
 				continue
 			}
-			sp.owner.cRSRSent.Inc()
-			sp.owner.cBytesSent.Add(uint64(len(enc)))
+			owner.cRSRSent.Inc()
+			owner.cBytesSent.Add(uint64(len(enc)))
 			continue
 		}
-		wire.PatchDest(enc, uint64(t.context), t.endpoint)
-		if err := t.conn.conn.Send(enc); err != nil {
-			sp.owner.health.reportFailure(t.method, t.context, err)
-			sp.owner.invalidateConn(t.conn)
-			if !sp.failover {
-				return fmt.Errorf("core: RSR via %s to context %d: %w", t.method, t.context, err)
-			}
-			if ferr := sp.failoverTarget(t, enc, err); ferr != nil {
+		if err := l.conn.conn.Send(enc); err != nil {
+			if rerr, fatal := sp.recoverSend(l, enc, err); rerr != nil {
+				if fatal {
+					return rerr
+				}
 				// Degrade per target: the remaining links still get the
 				// frame; the caller sees which targets failed.
-				errs = append(errs, fmt.Errorf("core: RSR to context %d: %w", t.context, ferr))
+				errs = append(errs, rerr)
 				continue
 			}
-		} else if t.reportUp {
-			t.reportUp = false
-			sp.owner.health.reportSuccess(t.method, t.context)
+		} else if l.t.reportUp.CompareAndSwap(true, false) {
+			owner.health.reportSuccess(l.method, l.context)
 		}
-		sp.owner.cRSRSent.Inc()
-		sp.owner.cBytesSent.Add(uint64(len(enc)))
+		owner.cRSRSent.Inc()
+		owner.cBytesSent.Add(uint64(len(enc)))
 	}
 	return errors.Join(errs...)
+}
+
+// prepare rebuilds the send snapshot under sp.mu: bind unbound links, refresh
+// bound ones whose selection is stale — the health registry moved (a circuit
+// tripped or healed) or an open circuit's backoff expired and a probe is due.
+func (sp *Startpoint) prepare() (*sendSnapshot, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if len(sp.targets) == 0 {
+		return nil, fmt.Errorf("core: RSR on unbound startpoint")
+	}
+	// Re-read the generation under the lock so the snapshot is stamped with
+	// the freshest value selection can observe.
+	gen := sp.owner.health.Gen()
+	probeDue := sp.owner.health.probeDue()
+	for _, t := range sp.targets {
+		t.selErr = nil
+		if t.conn == nil {
+			t.healthGen = gen
+			if err := sp.selectTarget(t); err != nil {
+				if !sp.failover {
+					sp.publishLocked()
+					return nil, err
+				}
+				// With failover on, a failed selection still gets the frame:
+				// the send loop retries against the remaining healthy methods
+				// once the frame is encoded.
+				t.selErr = err
+			}
+			continue
+		}
+		if t.healthGen != gen || probeDue {
+			sp.refreshTarget(t, gen)
+		}
+	}
+	return sp.publishLocked(), nil
+}
+
+// publishLocked rebuilds and stores the atomic send snapshot from the current
+// link state. Caller holds sp.mu. Every mutator republishes before unlocking,
+// so the lock-free fast path never reads a binding older than the last
+// locked operation.
+func (sp *Startpoint) publishLocked() *sendSnapshot {
+	snap := &sendSnapshot{
+		gen:      ^uint64(0),
+		ready:    len(sp.targets) > 0,
+		failover: sp.failover,
+		links:    make([]sendLink, len(sp.targets)),
+	}
+	for i, t := range sp.targets {
+		snap.links[i] = sendLink{
+			t:        t,
+			context:  t.context,
+			endpoint: t.endpoint,
+			method:   t.method,
+			conn:     t.conn,
+			selErr:   t.selErr,
+		}
+		if t.conn == nil || t.selErr != nil {
+			snap.ready = false
+		}
+		if t.healthGen < snap.gen {
+			snap.gen = t.healthGen
+		}
+	}
+	sp.snap.Store(snap)
+	return snap
+}
+
+// recoverSend handles one link's failed (or never-selected) send under sp.mu.
+// If the link's binding changed since the snapshot was taken — another sender
+// already recovered it — the frame is retried on the fresh communication
+// object WITHOUT charging the health registry: the failure indicts the stale
+// snapshot, not the current method. Otherwise the failure is reported, the
+// poisoned shared conn invalidated, and with failover enabled the
+// reselect/redial/resend loop runs. fatal=true keeps non-failover semantics:
+// the first real send error aborts the whole RSR.
+func (sp *Startpoint) recoverSend(l *sendLink, enc []byte, cause error) (err error, fatal bool) {
+	owner := sp.owner
+	sp.mu.Lock()
+	defer func() {
+		sp.publishLocked()
+		sp.mu.Unlock()
+	}()
+	t := l.t
+	if t.conn != nil && t.conn != l.conn {
+		// Stale snapshot: retry once on the current binding.
+		serr := t.conn.conn.Send(enc)
+		if serr == nil {
+			if t.reportUp.CompareAndSwap(true, false) {
+				owner.health.reportSuccess(t.method, t.context)
+			}
+			return nil, false
+		}
+		// The current binding fails too — charge it below.
+		cause = serr
+	}
+	if t.conn != nil {
+		owner.health.reportFailure(t.method, t.context, cause)
+		owner.invalidateConn(t.conn)
+	}
+	if !sp.failover {
+		method := t.method
+		if method == "" {
+			method = l.method
+		}
+		return fmt.Errorf("core: RSR via %s to context %d: %w", method, t.context, cause), true
+	}
+	if ferr := sp.failoverTarget(t, enc, cause); ferr != nil {
+		return fmt.Errorf("core: RSR to context %d: %w", t.context, ferr), false
+	}
+	return nil, false
 }
 
 // Close releases the startpoint's communication objects. The links
@@ -399,6 +537,7 @@ func (sp *Startpoint) Close() {
 			t.method = ""
 		}
 	}
+	sp.publishLocked()
 }
 
 // Encode packs the startpoint — links and descriptor tables — into the

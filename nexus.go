@@ -85,6 +85,11 @@ type (
 	// CircuitState is a health circuit's position in the breaker state
 	// machine.
 	CircuitState = core.CircuitState
+	// DispatchConfig tunes the threaded dispatch engine (worker lanes,
+	// queue depth, backpressure policy).
+	DispatchConfig = core.DispatchConfig
+	// DispatchPolicy selects what a full dispatch lane does with a frame.
+	DispatchPolicy = core.DispatchPolicy
 )
 
 // Circuit-breaker states reported by Context.HealthSnapshot.
@@ -92,6 +97,16 @@ const (
 	CircuitClosed   = core.CircuitClosed
 	CircuitOpen     = core.CircuitOpen
 	CircuitHalfOpen = core.CircuitHalfOpen
+)
+
+// Dispatch backpressure policies for threaded contexts.
+const (
+	// DispatchBlock blocks the delivering poller while a lane is full,
+	// preserving per-endpoint FIFO order (the default).
+	DispatchBlock = core.DispatchBlock
+	// DispatchInline runs an overflowing frame's handler on the delivering
+	// goroutine instead, trading per-endpoint ordering for poller progress.
+	DispatchInline = core.DispatchInline
 )
 
 // Core constructors, selection policies, and helpers.
