@@ -7,6 +7,7 @@
 //	nexus-pingpong -extra tcp               # idle TCP polled every pass
 //	nexus-pingpong -extra tcp -skip 20      # ... every 20th pass
 //	nexus-pingpong -sizes 0,1024,65536 -rounds 2000
+//	nexus-pingpong -trace                   # latency percentiles + a trace
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -28,6 +30,7 @@ var (
 	skip   = flag.Int("skip", 1, "skip_poll value for the extra method")
 	rounds = flag.Int("rounds", 5000, "roundtrips per size")
 	sizes  = flag.String("sizes", "0,64,1024,16384,65536", "comma-separated message sizes")
+	trace  = flag.Bool("trace", false, "enable RSR tracing; print stage percentiles and a sample trace")
 )
 
 func main() {
@@ -46,7 +49,10 @@ func main() {
 		methods = append(methods, nexus.MethodConfig{Name: *extra, SkipPoll: *skip})
 	}
 	mk := func() *nexus.Context {
-		c, err := nexus.NewContext(nexus.Options{Methods: methods})
+		c, err := nexus.NewContext(nexus.Options{
+			Methods: methods,
+			Observe: nexus.ObserveConfig{Trace: *trace},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -76,6 +82,52 @@ func main() {
 	fmt.Println("\nreceiver enquiry:")
 	for _, mi := range b.Methods() {
 		fmt.Printf("  %-8s skip_poll=%-6d polls=%-10d frames=%d\n", mi.Name, mi.SkipPoll, mi.Polls, mi.Frames)
+	}
+
+	if *trace {
+		printObservability(a, b)
+	}
+}
+
+// printObservability renders the stage percentiles from both contexts and one
+// complete cross-context trace, matched by trace ID across the two dumps.
+func printObservability(a, b *nexus.Context) {
+	fmt.Println("\nlatency percentiles (method/stage, µs):")
+	fmt.Printf("  %-4s %-8s %-8s %10s %10s %10s %10s\n",
+		"ctx", "method", "stage", "count", "p50", "p95", "p99")
+	for _, c := range []*nexus.Context{a, b} {
+		for _, l := range c.Observe().Latencies {
+			fmt.Printf("  %-4d %-8s %-8s %10d %10.2f %10.2f %10.2f\n",
+				c.ID(), l.Method, l.Stage, l.Count,
+				float64(l.P50.Nanoseconds())/1e3,
+				float64(l.P95.Nanoseconds())/1e3,
+				float64(l.P99.Nanoseconds())/1e3)
+		}
+	}
+
+	// Sample trace: the newest send on context a, lined up with whatever the
+	// other context recorded under the same ID.
+	dumpA, dumpB := a.TraceDump(), b.TraceDump()
+	var id nexus.TraceID
+	for _, e := range dumpA {
+		if e.Stage == nexus.StageSend {
+			id = e.Trace
+		}
+	}
+	if id.IsZero() {
+		fmt.Println("\nno traced sends buffered")
+		return
+	}
+	var events []nexus.TraceEvent
+	for _, e := range append(dumpA, dumpB...) {
+		if e.Trace == id {
+			events = append(events, e)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+	fmt.Printf("\nsample trace %s:\n", id)
+	for _, e := range events {
+		fmt.Printf("  %s\n", e.String())
 	}
 }
 

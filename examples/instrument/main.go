@@ -33,12 +33,15 @@ func main() {
 		{Name: "mpl", Params: nexus.Params{"latency": "20us", "poll_cost": "2us"}},
 		{Name: "tcp"},
 	}
-	processor, err := nexus.NewContext(nexus.Options{Partition: "lab", Methods: methods})
+	// Tracing on both sides: the operator view below prints per-stage
+	// percentiles and one cross-context trace of a streamed frame.
+	obs := nexus.ObserveConfig{Trace: true, TraceBuffer: 1024}
+	processor, err := nexus.NewContext(nexus.Options{Partition: "lab", Methods: methods, Observe: obs})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer processor.Close()
-	instrument, err := nexus.NewContext(nexus.Options{Partition: "lab", Methods: methods})
+	instrument, err := nexus.NewContext(nexus.Options{Partition: "lab", Methods: methods, Observe: obs})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,6 +104,34 @@ func main() {
 	fmt.Printf("received %d/%d frames, checksum %d\n", received.Load(), frames, checksum.Load())
 	st := instrument.Stats().Snapshot()
 	fmt.Printf("instrument enquiry: rsr.sent=%d rsr.failover=%d\n", st["rsr.sent"], st["rsr.failover"])
+
+	// The observability view: what each stage of the stream actually cost,
+	// per method — the failover is visible as two send rows (mpl, then tcp).
+	fmt.Println("\ninstrument latency percentiles (µs):")
+	for _, l := range instrument.Observe().Latencies {
+		fmt.Printf("  %-6s %-8s count=%-5d p50=%-8.2f p95=%-8.2f p99=%.2f\n",
+			l.Method, l.Stage, l.Count,
+			float64(l.P50.Nanoseconds())/1e3,
+			float64(l.P95.Nanoseconds())/1e3,
+			float64(l.P99.Nanoseconds())/1e3)
+	}
+
+	// One frame's journey across both contexts, matched by trace ID.
+	var id nexus.TraceID
+	for _, e := range instrument.TraceDump() {
+		if e.Stage == nexus.StageSend {
+			id = e.Trace
+		}
+	}
+	if !id.IsZero() {
+		fmt.Printf("\nsample trace %s:\n", id)
+		for _, e := range append(instrument.TraceDump(), processor.TraceDump()...) {
+			if e.Trace == id {
+				fmt.Printf("  %s\n", e.String())
+			}
+		}
+	}
+
 	if received.Load() != frames {
 		log.Fatal("stream incomplete")
 	}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"time"
-
-	"nexus/internal/transport"
 )
 
 // AdaptiveConfig tunes StartAdaptiveSkipPoll.
@@ -83,16 +81,18 @@ func (c *Context) adaptOnce(cfg AdaptiveConfig, lastFrames map[string]uint64) {
 	copy(mods, c.modules)
 	c.mu.RUnlock()
 
-	// Find the cheapest advertised poll cost to define "expensive".
+	// Find the cheapest poll cost to define "expensive". pollCostEstimate
+	// prefers the observed mean from the poll-stage histograms (when stats
+	// are on and the method has enough samples) over the module's static
+	// hint, so the tuner's notion of cheap vs. expensive tracks what polls
+	// actually cost on this host.
 	var minCost time.Duration
 	costs := make(map[*moduleState]time.Duration, len(mods))
 	for _, ms := range mods {
-		if h, ok := ms.module.(transport.CostHinter); ok {
-			if cost := h.PollCostHint(); cost > 0 {
-				costs[ms] = cost
-				if minCost == 0 || cost < minCost {
-					minCost = cost
-				}
+		if cost := c.pollCostEstimate(ms); cost > 0 {
+			costs[ms] = cost
+			if minCost == 0 || cost < minCost {
+				minCost = cost
 			}
 		}
 	}

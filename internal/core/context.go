@@ -17,9 +17,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nexus/internal/buffer"
 	"nexus/internal/metrics"
+	"nexus/internal/obsv"
 	"nexus/internal/transport"
 	"nexus/internal/wire"
 )
@@ -101,6 +103,10 @@ type Options struct {
 	// failover (circuit-breaker thresholds, backoff). The zero value
 	// selects defaults.
 	Health HealthConfig
+	// Observe configures the observability subsystem (latency histograms,
+	// RSR tracing). The zero value leaves it off — the default, and the
+	// configuration the hot-path overhead contract is written against.
+	Observe ObserveConfig
 }
 
 var nextContextID atomic.Uint64
@@ -144,6 +150,11 @@ type Context struct {
 	// Set once at construction, before any frame can arrive.
 	dispatcher *dispatcher
 
+	// obs is the observability state (see observe.go). Hot paths gate on
+	// one atomic load of obs.mode; with observability off that load-and-
+	// branch is the entire cost.
+	obs obsvState
+
 	mu         sync.RWMutex
 	modules    []*moduleState
 	byMethod   map[string]*moduleState
@@ -184,6 +195,15 @@ type moduleState struct {
 	polls    *metrics.Counter
 	frames   *metrics.Counter
 	pollErrs *metrics.Counter
+
+	// lat holds the method's per-stage latency histograms; allocated at
+	// enableMethod so hot paths can record through a never-nil pointer.
+	lat *obsv.StageSet
+	// pollStart is the wall-clock nanosecond at which the in-progress Poll
+	// call on this module began (0 when none), written by the polling loop
+	// and read by dispatch to attribute detection latency to traced frames
+	// the poll delivers.
+	pollStart atomic.Int64
 }
 
 // NewContext creates a context and initializes its communication modules.
@@ -234,6 +254,12 @@ func NewContext(opts Options) (*Context, error) {
 	if opts.Threaded {
 		c.dispatcher = newDispatcher(c, opts.Dispatch)
 	}
+	c.obs.ids = obsv.NewIDGen(uint64(id)<<32 ^ uint64(time.Now().UnixNano()))
+	if opts.Observe.Trace {
+		c.EnableTracing(opts.Observe.TraceBuffer)
+	} else if opts.Observe.Stats {
+		c.EnableStats()
+	}
 	c.errlog = opts.ErrorLog
 	if c.errlog == nil {
 		dropped := c.stats.Counter("errors.dropped")
@@ -277,6 +303,7 @@ func (c *Context) enableMethod(reg *transport.Registry, mc MethodConfig) error {
 		polls:    c.stats.Counter("poll." + mc.Name),
 		frames:   c.stats.Counter("frames." + mc.Name),
 		pollErrs: c.stats.Counter("poll.errors." + mc.Name),
+		lat:      &obsv.StageSet{},
 	}
 	ms.skipAtomic.Store(int64(mc.SkipPoll))
 	desc, err := mod.Init(transport.Env{
@@ -311,6 +338,7 @@ func (c *Context) enableMethod(reg *transport.Registry, mc MethodConfig) error {
 	}
 	c.modules = append(c.modules, ms)
 	c.byMethod[mc.Name] = ms
+	c.registerStageSet(mc.Name, ms.lat)
 	if desc != nil {
 		c.advertised.Add(*desc)
 	}
@@ -343,7 +371,7 @@ type methodSink struct {
 
 func (s *methodSink) Deliver(frame []byte) {
 	s.ms.frames.Inc()
-	s.ctx.dispatch(frame)
+	s.ctx.dispatch(s.ms, frame)
 }
 
 // ID reports the context identity.
@@ -442,30 +470,50 @@ func (c *Context) PeerTable(id transport.ContextID) *transport.Table {
 // fast path performs zero mutex acquisitions and zero payload copies: the
 // frame decodes onto the stack, the tables resolve through atomic pointer
 // loads, and the handler's buffer aliases the frame bytes.
-func (c *Context) dispatch(frame []byte) {
+func (c *Context) dispatch(ms *moduleState, frame []byte) {
 	var f wire.Frame // stack-decoded: one frame arrives per delivery
 	if err := wire.DecodeInto(&f, frame); err != nil {
 		c.errlog(fmt.Errorf("core: context %d: bad frame: %w", c.id, err))
 		return
 	}
 	if f.DestContext != uint64(c.id) {
-		c.forward(transport.ContextID(f.DestContext), frame)
+		c.forward(&f, frame)
 		return
 	}
 	c.cRSRRecv.Inc()
 	c.cBytesRecv.Add(uint64(len(frame)))
+	if c.obs.mode.Load()&obsTrace != 0 && f.HasTrace() && ms != nil {
+		// Poll-stage trace event: detection latency, measured from the start
+		// of the module Poll call that surfaced this frame. Blocking-mode
+		// modules deliver outside a poll pass and report zero.
+		now := time.Now()
+		var det time.Duration
+		if start := ms.pollStart.Load(); start != 0 {
+			det = time.Duration(now.UnixNano() - start)
+		}
+		c.recordEvent(obsv.Event{
+			Time:     now,
+			Trace:    obsv.TraceID(f.Trace),
+			Stage:    obsv.StagePoll,
+			Method:   ms.name,
+			Peer:     f.SrcContext,
+			Endpoint: f.DestEndpoint,
+			Handler:  f.Handler,
+			Dur:      det,
+		})
+	}
 	if c.dispatcher != nil {
-		c.dispatcher.enqueue(f.DestEndpoint, frame)
+		c.dispatcher.enqueue(ms, f.DestEndpoint, frame)
 		return
 	}
-	c.deliver(&f)
+	c.deliver(ms, &f)
 }
 
 // deliver resolves a decoded frame against the copy-on-write tables and
 // invokes the handler. It runs bracketed by the dispatch gate, which is what
 // UnregisterHandler drains to guarantee no delivery resolves a stale table
 // after it returns.
-func (c *Context) deliver(f *wire.Frame) {
+func (c *Context) deliver(ms *moduleState, f *wire.Frame) {
 	parity := c.gate.enter()
 	defer c.gate.exit(parity)
 	ep := (*c.endpoints.Load())[f.DestEndpoint]
@@ -491,7 +539,37 @@ func (c *Context) deliver(f *wire.Frame) {
 		c.errlog(fmt.Errorf("core: context %d: bad payload: %w", c.id, err))
 		return
 	}
+	mode := c.obs.mode.Load()
+	if mode&obsStats == 0 {
+		fn(ep, b)
+		return
+	}
+	t0 := time.Now()
 	fn(ep, b)
+	d := time.Since(t0)
+	if ms != nil {
+		ms.lat.Stage(obsv.StageHandler).Record(d)
+	}
+	if mode&obsTrace != 0 && f.HasTrace() {
+		c.recordEvent(obsv.Event{
+			Trace:    obsv.TraceID(f.Trace),
+			Stage:    obsv.StageHandler,
+			Method:   msName(ms),
+			Peer:     f.SrcContext,
+			Endpoint: f.DestEndpoint,
+			Handler:  f.Handler,
+			Dur:      d,
+		})
+	}
+}
+
+// msName reports a module state's method name, tolerating nil (frames can
+// reach deliver without a known source module, e.g. in tests).
+func msName(ms *moduleState) string {
+	if ms == nil {
+		return ""
+	}
+	return ms.name
 }
 
 // Closed reports whether the context has been closed.
@@ -572,8 +650,10 @@ type sharedConn struct {
 }
 
 // acquireConn returns a shared communication object for the descriptor,
-// dialing one if none exists.
-func (c *Context) acquireConn(d transport.Descriptor) (*sharedConn, error) {
+// dialing one if none exists. tid attributes the dial to the RSR that forced
+// it (the first send over a link pays the dial; steady-state sends hit the
+// cache above and never reach the instrumented section).
+func (c *Context) acquireConn(d transport.Descriptor, tid obsv.TraceID) (*sharedConn, error) {
 	key := keyFor(d)
 	c.mu.Lock()
 	if c.closed {
@@ -590,9 +670,27 @@ func (c *Context) acquireConn(d transport.Descriptor) (*sharedConn, error) {
 	if ms == nil {
 		return nil, fmt.Errorf("core: %w: %q", ErrUnknownMethod, d.Method)
 	}
+	mode := c.obs.mode.Load()
+	var t0 time.Time
+	if mode&obsStats != 0 {
+		t0 = time.Now()
+	}
 	conn, err := ms.module.Dial(d)
 	if err != nil {
 		return nil, err
+	}
+	if mode&obsStats != 0 {
+		dur := time.Since(t0)
+		ms.lat.Stage(obsv.StageDial).Record(dur)
+		if mode&obsTrace != 0 && !tid.IsZero() {
+			c.recordEvent(obsv.Event{
+				Trace:  tid,
+				Stage:  obsv.StageDial,
+				Method: d.Method,
+				Peer:   uint64(d.Context),
+				Dur:    dur,
+			})
+		}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

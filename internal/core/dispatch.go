@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nexus/internal/bufpool"
 	"nexus/internal/metrics"
+	"nexus/internal/obsv"
 	"nexus/internal/wire"
 )
 
@@ -66,10 +68,20 @@ func (c DispatchConfig) withDefaults() DispatchConfig {
 	return c
 }
 
+// laneItem is one queued frame plus the delivery metadata the lane worker
+// needs: the source module (per-method histograms, trace attribution) and
+// the enqueue timestamp for the queue-wait stage (0 when stats are off).
+// It is a small value struct so the hand-off stays allocation-free.
+type laneItem struct {
+	buf []byte
+	ms  *moduleState
+	enq int64 // UnixNano at enqueue; 0 when stats disabled
+}
+
 // dispatcher is the sharded worker pool behind a threaded context.
 type dispatcher struct {
 	ctx      *Context
-	lanes    []chan []byte
+	lanes    []chan laneItem
 	done     chan struct{}
 	stopOnce sync.Once
 	onFull   DispatchPolicy
@@ -82,14 +94,14 @@ func newDispatcher(c *Context, cfg DispatchConfig) *dispatcher {
 	cfg = cfg.withDefaults()
 	d := &dispatcher{
 		ctx:     c,
-		lanes:   make([]chan []byte, cfg.Lanes),
+		lanes:   make([]chan laneItem, cfg.Lanes),
 		done:    make(chan struct{}),
 		onFull:  cfg.OnFull,
 		cFull:   c.stats.Counter("dispatch.queue_full"),
 		cInline: c.stats.Counter("dispatch.inline"),
 	}
 	for i := range d.lanes {
-		d.lanes[i] = make(chan []byte, cfg.QueueDepth)
+		d.lanes[i] = make(chan laneItem, cfg.QueueDepth)
 		go d.run(d.lanes[i])
 	}
 	return d
@@ -100,24 +112,28 @@ func newDispatcher(c *Context, cfg DispatchConfig) *dispatcher {
 // storage that the lane worker returns to the pool after delivery — the
 // hand-off costs one copy and zero allocations in steady state, where the
 // old threaded mode paid a goroutine spawn plus a cloned payload.
-func (d *dispatcher) enqueue(destEP uint64, frame []byte) {
+func (d *dispatcher) enqueue(ms *moduleState, destEP uint64, frame []byte) {
 	buf := bufpool.Get(len(frame))
 	copy(buf, frame)
+	it := laneItem{buf: buf, ms: ms}
+	if d.ctx.obs.mode.Load()&obsStats != 0 {
+		it.enq = time.Now().UnixNano()
+	}
 	lane := d.lanes[destEP%uint64(len(d.lanes))]
 	select {
-	case lane <- buf:
+	case lane <- it:
 		return
 	default:
 	}
 	d.cFull.Inc()
 	if d.onFull == DispatchInline {
 		d.cInline.Inc()
-		d.ctx.deliverFrame(buf)
+		d.ctx.deliverItem(it)
 		bufpool.Put(buf)
 		return
 	}
 	select {
-	case lane <- buf:
+	case lane <- it:
 	case <-d.done:
 		bufpool.Put(buf)
 	}
@@ -125,14 +141,14 @@ func (d *dispatcher) enqueue(destEP uint64, frame []byte) {
 
 // run is one lane worker: it owns its queue's FIFO order and returns each
 // frame's storage to the pool after the handler completes.
-func (d *dispatcher) run(lane chan []byte) {
+func (d *dispatcher) run(lane chan laneItem) {
 	for {
 		select {
 		case <-d.done:
 			return
-		case buf := <-lane:
-			d.ctx.deliverFrame(buf)
-			bufpool.Put(buf)
+		case it := <-lane:
+			d.ctx.deliverItem(it)
+			bufpool.Put(it.buf)
 		}
 	}
 }
@@ -143,19 +159,37 @@ func (d *dispatcher) stop() {
 	d.stopOnce.Do(func() { close(d.done) })
 }
 
-// deliverFrame re-decodes a pooled frame on a lane worker and delivers it.
+// deliverItem re-decodes a pooled frame on a lane worker and delivers it.
 // The decode is a handful of bounds checks against bytes already in cache —
-// re-running it here keeps the queue item a bare byte slice and, more
-// importantly, re-resolves the endpoint/handler tables at execution time, so
-// a frame queued before an UnregisterHandler cannot reach the removed
-// handler after it.
-func (c *Context) deliverFrame(frame []byte) {
+// re-running it here keeps the queue item small and, more importantly,
+// re-resolves the endpoint/handler tables at execution time, so a frame
+// queued before an UnregisterHandler cannot reach the removed handler after
+// it. The pickup timestamp, measured against it.enq, is the queue-wait
+// stage: how long the frame sat behind its lane's backlog.
+func (c *Context) deliverItem(it laneItem) {
 	var f wire.Frame
-	if err := wire.DecodeInto(&f, frame); err != nil {
+	if err := wire.DecodeInto(&f, it.buf); err != nil {
 		c.errlog(fmt.Errorf("core: context %d: bad frame: %w", c.id, err))
 		return
 	}
-	c.deliver(&f)
+	if it.enq != 0 {
+		wait := time.Duration(time.Now().UnixNano() - it.enq)
+		if it.ms != nil {
+			it.ms.lat.Stage(obsv.StageQueueWait).Record(wait)
+		}
+		if c.obs.mode.Load()&obsTrace != 0 && f.HasTrace() {
+			c.recordEvent(obsv.Event{
+				Trace:    obsv.TraceID(f.Trace),
+				Stage:    obsv.StageQueueWait,
+				Method:   msName(it.ms),
+				Peer:     f.SrcContext,
+				Endpoint: f.DestEndpoint,
+				Handler:  f.Handler,
+				Dur:      wait,
+			})
+		}
+	}
+	c.deliver(it.ms, &f)
 }
 
 // dispatchGate brackets every delivery so table writers can wait out

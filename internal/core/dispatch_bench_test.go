@@ -61,7 +61,7 @@ func BenchmarkDispatchParallel(b *testing.B) {
 				b.RunParallel(func(pb *testing.PB) {
 					i := int(next.Add(1))
 					for pb.Next() {
-						c.dispatch(frames[i%numEP])
+						c.dispatch(nil, frames[i%numEP])
 						i++
 					}
 				})

@@ -75,7 +75,7 @@ func TestPerEndpointFIFO(t *testing.T) {
 			// every lane sees frames from multiple endpoints mixed together.
 			for s := 0; s < perEP; s++ {
 				for e := d * epsPerDrv; e < (d+1)*epsPerDrv; e++ {
-					c.dispatch(frames[e][s])
+					c.dispatch(nil, frames[e][s])
 				}
 			}
 		}()
@@ -145,7 +145,7 @@ func TestUnregisterHandlerDrains(t *testing.T) {
 						case <-stop:
 							return
 						default:
-							c.dispatch(frame)
+							c.dispatch(nil, frame)
 						}
 					}
 				}()
@@ -314,12 +314,12 @@ func TestDispatchInlinePolicy(t *testing.T) {
 	}))
 	f := func(v int64) []byte { return encodeRSR(t, c.ID(), ep.ID(), "", v) }
 
-	c.dispatch(f(1)) // lane worker takes it and blocks
+	c.dispatch(nil, f(1)) // lane worker takes it and blocks
 	if got := <-entered; got != 1 {
 		t.Fatalf("first handler saw %d", got)
 	}
-	c.dispatch(f(2)) // fills the depth-1 queue
-	c.dispatch(f(3)) // queue full: runs inline, right here, before 2
+	c.dispatch(nil, f(2)) // fills the depth-1 queue
+	c.dispatch(nil, f(3)) // queue full: runs inline, right here, before 2
 	mu.Lock()
 	gotInline := len(order) == 1 && order[0] == 3
 	mu.Unlock()

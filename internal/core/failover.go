@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"nexus/internal/obsv"
 )
 
 // This file implements the supervised side of a communication link: what
@@ -26,8 +28,9 @@ func (sp *Startpoint) maxFailoverAttempts(tableLen int) int {
 // health-aware selector skips tripped methods), redial, resend, until the
 // frame is delivered to a communication object or the attempt budget is
 // spent. The failed send's failure has already been reported and its shared
-// connection invalidated. Caller holds sp.mu.
-func (sp *Startpoint) failoverTarget(t *target, enc []byte, firstErr error) error {
+// connection invalidated. tid attributes replacement dials to the RSR being
+// recovered. Caller holds sp.mu.
+func (sp *Startpoint) failoverTarget(t *target, enc []byte, firstErr error, tid obsv.TraceID) error {
 	owner := sp.owner
 	table, err := sp.tableFor(t)
 	if err != nil {
@@ -42,7 +45,7 @@ func (sp *Startpoint) failoverTarget(t *target, enc []byte, firstErr error) erro
 		}
 		t.method = ""
 		t.healthGen = owner.health.Gen()
-		if err := sp.selectTarget(t); err != nil {
+		if err := sp.selectTarget(t, tid); err != nil {
 			// A dial refusal was already reported to the registry by
 			// selectTarget; keep looping — the next selection skips the
 			// method once its circuit trips. Give up only when no method is
@@ -93,7 +96,7 @@ func (sp *Startpoint) refreshTarget(t *target, gen uint64) {
 	}
 	// The selector now prefers a different method (a faster one healed, or
 	// the current one tripped elsewhere): rebind.
-	if err := sp.bindTarget(t, desc.Method, desc); err != nil {
+	if err := sp.bindTarget(t, desc.Method, desc, obsv.TraceID{}); err != nil {
 		// Dial failed — report it so the registry learns, keep the old conn.
 		sp.owner.health.reportFailure(desc.Method, t.context, err)
 	}

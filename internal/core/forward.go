@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"nexus/internal/obsv"
 	"nexus/internal/transport"
+	"nexus/internal/wire"
 )
 
 // EnableForwarding turns the context into a forwarding processor: frames that
@@ -27,10 +30,13 @@ func (c *Context) ForwardingEnabled() bool {
 }
 
 // forward relays a frame addressed to another context. The frame is re-sent
-// byte-for-byte: the wire header already carries the ultimate destination,
-// so no rewrapping is needed. Like dispatch, forward borrows raw — the
-// relaying Send completes before it returns.
-func (c *Context) forward(dest transport.ContextID, raw []byte) {
+// byte-for-byte: the wire header already carries the ultimate destination
+// (and, for traced frames, the originator's trace ID, which therefore
+// crosses the relay untouched — a trace spans every hop of a forwarded
+// path). Like dispatch, forward borrows raw — the relaying Send completes
+// before it returns.
+func (c *Context) forward(f *wire.Frame, raw []byte) {
+	dest := transport.ContextID(f.DestContext)
 	c.mu.RLock()
 	enabled := c.forwarder
 	c.mu.RUnlock()
@@ -46,6 +52,10 @@ func (c *Context) forward(dest transport.ContextID, raw []byte) {
 		c.stats.Counter("forward.dropped").Inc()
 		return
 	}
+	var tid obsv.TraceID
+	if f.HasTrace() {
+		tid = obsv.TraceID(f.Trace)
+	}
 	// Relay with the same supervision an RSR link gets: a failed route feeds
 	// the health registry, the route is reselected against the remaining
 	// healthy descriptors, and the frame is resent — bounded by the same
@@ -59,7 +69,7 @@ func (c *Context) forward(dest transport.ContextID, raw []byte) {
 			c.stats.Counter("forward.dropped").Inc()
 			return
 		}
-		sc, err := c.acquireConn(desc)
+		sc, err := c.acquireConn(desc, tid)
 		if err != nil {
 			lastErr = err
 			c.health.reportFailure(desc.Method, dest, err)
@@ -67,6 +77,11 @@ func (c *Context) forward(dest transport.ContextID, raw []byte) {
 		}
 		if attempt > 0 {
 			c.health.cRedials.Inc()
+		}
+		mode := c.obs.mode.Load()
+		var t0 time.Time
+		if mode&obsStats != 0 {
+			t0 = time.Now()
 		}
 		// The forwarder keeps its route connections open: the acquired
 		// reference is intentionally retained (released when the context
@@ -78,6 +93,23 @@ func (c *Context) forward(dest transport.ContextID, raw []byte) {
 			c.invalidateConn(sc)
 			c.releaseConn(sc)
 			continue
+		}
+		if mode&obsStats != 0 {
+			d := time.Since(t0)
+			if ss := c.stageSetFor(desc.Method); ss != nil {
+				ss.Stage(obsv.StageRelay).Record(d)
+			}
+			if mode&obsTrace != 0 && !tid.IsZero() {
+				c.recordEvent(obsv.Event{
+					Trace:    tid,
+					Stage:    obsv.StageRelay,
+					Method:   desc.Method,
+					Peer:     f.DestContext,
+					Endpoint: f.DestEndpoint,
+					Handler:  f.Handler,
+					Dur:      d,
+				})
+			}
 		}
 		if attempt > 0 {
 			c.health.reportSuccess(desc.Method, dest)

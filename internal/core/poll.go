@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"nexus/internal/obsv"
 	"nexus/internal/transport"
 )
 
@@ -45,6 +46,7 @@ func (c *Context) pollPassLocked() int {
 	}
 	c.pollPass++
 	c.cPollPasses.Inc()
+	statsOn := c.obs.mode.Load()&obsStats != 0
 	total := 0
 	for _, ms := range mods {
 		if ms.blocking {
@@ -64,7 +66,19 @@ func (c *Context) pollPassLocked() int {
 			ms.countdown = ms.skip - 1
 		}
 		ms.polls.Inc()
+		var t0 time.Time
+		if statsOn {
+			// pollStart lets dispatch attribute detection latency to traced
+			// frames this Poll call delivers (it runs synchronously inside
+			// Poll via the module's sink).
+			t0 = time.Now()
+			ms.pollStart.Store(t0.UnixNano())
+		}
 		n, err := ms.module.Poll()
+		if statsOn {
+			ms.pollStart.Store(0)
+			ms.lat.Stage(obsv.StagePoll).Record(time.Since(t0))
+		}
 		if err != nil {
 			ms.pollErrs.Inc()
 			c.errlog(fmt.Errorf("core: context %d: polling %s: %w", c.id, ms.name, err))
@@ -178,11 +192,13 @@ func (c *Context) SkipPoll(method string) int {
 	return int(ms.skipAtomic.Load())
 }
 
-// AutoSkipPoll derives skip_poll values from the modules' advertised poll
-// costs: the cheapest method keeps skip 1 and each other method is skipped
-// in proportion to how much more its poll costs — the paper's "adaptive
+// AutoSkipPoll derives skip_poll values from the modules' poll costs: the
+// cheapest method keeps skip 1 and each other method is skipped in
+// proportion to how much more its poll costs — the paper's "adaptive
 // adjustment of skip_poll values" future-work refinement in its simplest
-// static form.
+// static form. With stats enabled, a method's cost is its observed mean poll
+// latency once enough samples exist (pollCostEstimate); otherwise the
+// module's static PollCostHint is used.
 func (c *Context) AutoSkipPoll() {
 	c.mu.RLock()
 	mods := c.modules
@@ -190,11 +206,7 @@ func (c *Context) AutoSkipPoll() {
 	minCost := time.Duration(0)
 	costs := make(map[*moduleState]time.Duration, len(mods))
 	for _, ms := range mods {
-		h, ok := ms.module.(transport.CostHinter)
-		if !ok {
-			continue
-		}
-		cost := h.PollCostHint()
+		cost := c.pollCostEstimate(ms)
 		if cost <= 0 {
 			continue
 		}
@@ -321,6 +333,11 @@ type MethodInfo struct {
 	Frames uint64
 	// PollCostHint is the module's advertised per-poll cost (0 if unknown).
 	PollCostHint time.Duration
+	// ObservedPollCost is the mean measured poll latency from the
+	// observability histograms (0 until stats are enabled and the method
+	// has enough samples). When non-zero it is what selection and the
+	// skip_poll tuners actually use.
+	ObservedPollCost time.Duration
 }
 
 // Methods returns enquiry records for every enabled method, in preference
@@ -349,6 +366,11 @@ func (c *Context) Methods() []MethodInfo {
 		}
 		if h, ok := ms.module.(transport.CostHinter); ok {
 			mi.PollCostHint = h.PollCostHint()
+		}
+		if c.obs.mode.Load()&obsStats != 0 {
+			if h := ms.lat.Stage(obsv.StagePoll); h.Count() >= minObservedPolls {
+				mi.ObservedPollCost = h.Mean()
+			}
 		}
 		out = append(out, mi)
 	}

@@ -53,10 +53,14 @@ func PreferOrder(methods ...string) Selector {
 	}
 }
 
-// CheapestPoll selects, among applicable methods, the one whose module
-// advertises the lowest poll cost, breaking ties by table order. It is the
-// QoS-flavoured automatic policy the paper sketches as future work: selection
-// driven by measured properties rather than static ordering.
+// CheapestPoll selects, among applicable methods, the one with the lowest
+// poll cost, breaking ties by table order. It is the QoS-flavoured automatic
+// policy the paper sketches as future work: selection driven by measured
+// properties rather than static ordering. With the observability histograms
+// enabled, a method's cost is its observed mean poll latency on this host
+// (once it has enough samples); until then — and always with stats off — the
+// module's static PollCostHint is used. A method that measures slower than
+// its hint therefore loses its ranking as soon as the data says so.
 func CheapestPoll(c *Context, table *transport.Table) (transport.Descriptor, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -67,10 +71,7 @@ func CheapestPoll(c *Context, table *transport.Table) (transport.Descriptor, err
 		if !ok || !ms.module.Applicable(d) {
 			continue
 		}
-		cost := time.Duration(0)
-		if h, ok := ms.module.(transport.CostHinter); ok {
-			cost = h.PollCostHint()
-		}
+		cost := c.pollCostEstimate(ms)
 		if cost < bestCost {
 			best, bestCost = i, cost
 		}
@@ -80,6 +81,35 @@ func CheapestPoll(c *Context, table *transport.Table) (transport.Descriptor, err
 			ErrNoApplicableMethod, table, methodNamesLocked(c))
 	}
 	return table.Entries[best].Clone(), nil
+}
+
+// FastestObserved selects, among applicable methods, the one with the lowest
+// observed mean send latency. Only methods whose send-stage histogram has
+// accumulated minObservedPolls samples are ranked; if none qualifies yet —
+// including whenever stats are disabled — it falls back to FirstApplicable,
+// so early traffic explores the table in preference order before the
+// measurements take over.
+func FastestObserved(c *Context, table *transport.Table) (transport.Descriptor, error) {
+	c.mu.RLock()
+	best := -1
+	bestCost := time.Duration(1<<63 - 1)
+	for i, d := range table.Entries {
+		ms, ok := c.byMethod[d.Method]
+		if !ok || !ms.module.Applicable(d) {
+			continue
+		}
+		cost := c.sendCostEstimate(ms)
+		if cost > 0 && cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	if best >= 0 {
+		d := table.Entries[best].Clone()
+		c.mu.RUnlock()
+		return d, nil
+	}
+	c.mu.RUnlock()
+	return FirstApplicable(c, table)
 }
 
 func methodNamesLocked(c *Context) []string {

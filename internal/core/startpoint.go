@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nexus/internal/buffer"
 	"nexus/internal/bufpool"
+	"nexus/internal/obsv"
 	"nexus/internal/transport"
 	"nexus/internal/wire"
 )
@@ -54,6 +56,9 @@ type sendLink struct {
 	endpoint uint64
 	method   string
 	conn     *sharedConn
+	// lat caches the method's stage histograms so the instrumented send
+	// path records without a map lookup (nil until the link is bound).
+	lat *obsv.StageSet
 	// selErr carries a selection failure deferred to send time (failover
 	// mode): the link gets its frame via the failover loop instead.
 	selErr error
@@ -67,6 +72,7 @@ type target struct {
 	table    *transport.Table // nil for lightweight startpoints
 	method   string
 	conn     *sharedConn
+	lat      *obsv.StageSet // the bound method's stage histograms
 
 	// healthGen is the health-registry generation the current method was
 	// selected under; when the registry moves (a circuit trips or heals)
@@ -236,7 +242,7 @@ func (sp *Startpoint) SetMethod(name string) error {
 		if !ms.module.Applicable(desc) {
 			return fmt.Errorf("core: method %q not applicable to context %d: %w", name, t.context, ErrNoApplicableMethod)
 		}
-		if err := sp.bindTarget(t, name, desc); err != nil {
+		if err := sp.bindTarget(t, name, desc, obsv.TraceID{}); err != nil {
 			return err
 		}
 		t.manual = true
@@ -256,7 +262,7 @@ func (sp *Startpoint) SelectMethod() (string, error) {
 		if t.conn != nil {
 			continue
 		}
-		if err := sp.selectTarget(t); err != nil {
+		if err := sp.selectTarget(t, obsv.TraceID{}); err != nil {
 			return "", err
 		}
 	}
@@ -280,8 +286,9 @@ func (sp *Startpoint) tableFor(t *target) (*transport.Table, error) {
 }
 
 // selectTarget runs the context's (health-aware) selection policy for one
-// link and binds the resulting communication object. Caller holds sp.mu.
-func (sp *Startpoint) selectTarget(t *target) error {
+// link and binds the resulting communication object. tid attributes any dial
+// to the RSR that triggered selection. Caller holds sp.mu.
+func (sp *Startpoint) selectTarget(t *target, tid obsv.TraceID) error {
 	table, err := sp.tableFor(t)
 	if err != nil {
 		return err
@@ -290,7 +297,7 @@ func (sp *Startpoint) selectTarget(t *target) error {
 	if err != nil {
 		return err
 	}
-	if err := sp.bindTarget(t, desc.Method, desc); err != nil {
+	if err := sp.bindTarget(t, desc.Method, desc, tid); err != nil {
 		// A failed dial is as much a method failure as a failed send: feed
 		// the registry so repeated refusals trip the circuit and selection
 		// moves on to the next applicable method.
@@ -302,11 +309,11 @@ func (sp *Startpoint) selectTarget(t *target) error {
 
 // bindTarget points the link at a (possibly new) communication object.
 // Caller holds sp.mu.
-func (sp *Startpoint) bindTarget(t *target, method string, desc transport.Descriptor) error {
+func (sp *Startpoint) bindTarget(t *target, method string, desc transport.Descriptor, tid obsv.TraceID) error {
 	if t.conn != nil && t.method == method {
 		return nil
 	}
-	sc, err := sp.owner.acquireConn(desc)
+	sc, err := sp.owner.acquireConn(desc, tid)
 	if err != nil {
 		return err
 	}
@@ -315,6 +322,7 @@ func (sp *Startpoint) bindTarget(t *target, method string, desc transport.Descri
 	}
 	t.conn = sc
 	t.method = method
+	t.lat = sp.owner.stageSetFor(method)
 	t.reportUp.Store(true)
 	return nil
 }
@@ -350,11 +358,18 @@ func (sp *Startpoint) RSR(handler string, b *buffer.Buffer) error {
 // snapshot is missing/stale, a probe is due, or a send fails.
 func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 	owner := sp.owner
+	mode := owner.obs.mode.Load()
+	var tid obsv.TraceID
+	var flags byte
+	if mode&obsTrace != 0 {
+		tid = owner.newTraceID()
+		flags = wire.FlagTrace
+	}
 	snap := sp.snap.Load()
 	if snap == nil || !snap.ready ||
 		snap.gen != owner.health.Gen() || owner.health.probeDue() {
 		var err error
-		if snap, err = sp.prepare(); err != nil {
+		if snap, err = sp.prepare(tid); err != nil {
 			return err
 		}
 	}
@@ -362,12 +377,12 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 	if b != nil {
 		payloadLen = b.EncodedLen()
 	}
-	off := wire.HeaderLen(len(handler))
+	off := wire.HeaderLenExt(len(handler), flags)
 	enc := bufpool.Get(off + payloadLen)
 	defer bufpool.Put(enc)
-	wire.EncodeHeader(enc, wire.TypeRSR,
+	wire.EncodeHeaderExt(enc, wire.TypeRSR, flags,
 		uint64(snap.links[0].context), snap.links[0].endpoint, uint64(owner.id),
-		handler, payloadLen)
+		[16]byte(tid), handler, payloadLen)
 	if b != nil {
 		b.EncodeTo(enc[off:])
 	} else {
@@ -383,7 +398,7 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 			if l.selErr == nil {
 				continue
 			}
-			if err, fatal := sp.recoverSend(l, enc, l.selErr); err != nil {
+			if err, fatal := sp.recoverSend(l, enc, l.selErr, tid); err != nil {
 				if fatal {
 					return err
 				}
@@ -394,8 +409,12 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 			owner.cBytesSent.Add(uint64(len(enc)))
 			continue
 		}
+		var t0 time.Time
+		if mode&obsStats != 0 {
+			t0 = time.Now()
+		}
 		if err := l.conn.conn.Send(enc); err != nil {
-			if rerr, fatal := sp.recoverSend(l, enc, err); rerr != nil {
+			if rerr, fatal := sp.recoverSend(l, enc, err, tid); rerr != nil {
 				if fatal {
 					return rerr
 				}
@@ -404,8 +423,27 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 				errs = append(errs, rerr)
 				continue
 			}
-		} else if l.t.reportUp.CompareAndSwap(true, false) {
-			owner.health.reportSuccess(l.method, l.context)
+		} else {
+			if mode&obsStats != 0 {
+				d := time.Since(t0)
+				if l.lat != nil {
+					l.lat.Stage(obsv.StageSend).Record(d)
+				}
+				if mode&obsTrace != 0 {
+					owner.recordEvent(obsv.Event{
+						Trace:    tid,
+						Stage:    obsv.StageSend,
+						Method:   l.method,
+						Peer:     uint64(l.context),
+						Endpoint: l.endpoint,
+						Handler:  handler,
+						Dur:      d,
+					})
+				}
+			}
+			if l.t.reportUp.CompareAndSwap(true, false) {
+				owner.health.reportSuccess(l.method, l.context)
+			}
 		}
 		owner.cRSRSent.Inc()
 		owner.cBytesSent.Add(uint64(len(enc)))
@@ -416,7 +454,7 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 // prepare rebuilds the send snapshot under sp.mu: bind unbound links, refresh
 // bound ones whose selection is stale — the health registry moved (a circuit
 // tripped or healed) or an open circuit's backoff expired and a probe is due.
-func (sp *Startpoint) prepare() (*sendSnapshot, error) {
+func (sp *Startpoint) prepare(tid obsv.TraceID) (*sendSnapshot, error) {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
 	if len(sp.targets) == 0 {
@@ -430,7 +468,7 @@ func (sp *Startpoint) prepare() (*sendSnapshot, error) {
 		t.selErr = nil
 		if t.conn == nil {
 			t.healthGen = gen
-			if err := sp.selectTarget(t); err != nil {
+			if err := sp.selectTarget(t, tid); err != nil {
 				if !sp.failover {
 					sp.publishLocked()
 					return nil, err
@@ -467,6 +505,7 @@ func (sp *Startpoint) publishLocked() *sendSnapshot {
 			endpoint: t.endpoint,
 			method:   t.method,
 			conn:     t.conn,
+			lat:      t.lat,
 			selErr:   t.selErr,
 		}
 		if t.conn == nil || t.selErr != nil {
@@ -488,7 +527,7 @@ func (sp *Startpoint) publishLocked() *sendSnapshot {
 // poisoned shared conn invalidated, and with failover enabled the
 // reselect/redial/resend loop runs. fatal=true keeps non-failover semantics:
 // the first real send error aborts the whole RSR.
-func (sp *Startpoint) recoverSend(l *sendLink, enc []byte, cause error) (err error, fatal bool) {
+func (sp *Startpoint) recoverSend(l *sendLink, enc []byte, cause error, tid obsv.TraceID) (err error, fatal bool) {
 	owner := sp.owner
 	sp.mu.Lock()
 	defer func() {
@@ -519,7 +558,7 @@ func (sp *Startpoint) recoverSend(l *sendLink, enc []byte, cause error) (err err
 		}
 		return fmt.Errorf("core: RSR via %s to context %d: %w", method, t.context, cause), true
 	}
-	if ferr := sp.failoverTarget(t, enc, cause); ferr != nil {
+	if ferr := sp.failoverTarget(t, enc, cause, tid); ferr != nil {
 		return fmt.Errorf("core: RSR to context %d: %w", t.context, ferr), false
 	}
 	return nil, false

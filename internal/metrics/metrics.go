@@ -79,14 +79,35 @@ func (s *Set) Snapshot() map[string]uint64 {
 	return out
 }
 
-// Names returns the counter names in sorted order.
+// NamedValue is one counter in an ordered snapshot.
+type NamedValue struct {
+	Name  string
+	Value uint64
+}
+
+// SortedSnapshot returns all counters ordered by name. The copy is taken
+// under the read lock; the sort runs after the lock is released, so hot-path
+// writers creating counters are never stalled behind an O(n log n) sort.
+func (s *Set) SortedSnapshot() []NamedValue {
+	s.mu.RLock()
+	out := make([]NamedValue, 0, len(s.counters))
+	for k, c := range s.counters {
+		out = append(out, NamedValue{Name: k, Value: c.Load()})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the counter names in sorted order. Like SortedSnapshot, the
+// names are copied under the read lock and sorted outside it.
 func (s *Set) Names() []string {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.counters))
 	for k := range s.counters {
 		out = append(out, k)
 	}
+	s.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }

@@ -1,0 +1,366 @@
+// Package obsv is the observability layer behind the core's enquiry
+// functions: lock-free latency histograms, cross-context RSR trace events,
+// and the typed snapshot served by Context.Observe and /debug/nexusz.
+//
+// The paper's tuning story rests on measured per-method costs — the 15 µs
+// MPL probe vs 100+ µs TCP select numbers that justify skip_poll — and on
+// enquiry functions programmers use to evaluate automatic selection. This
+// package supplies the measurement half: every instrumented operation
+// records a duration into a fixed-bucket log₂(ns) histogram keyed by
+// (method, stage), and, when tracing is enabled, appends an event carrying a
+// 16-byte trace ID that travels inside the wire header, so one RSR can be
+// followed from the sending context's send call through the receiving
+// context's poll, queue, and handler stages.
+//
+// Everything here is built to cost nothing when disabled: the core gates all
+// record calls behind one atomic mode load, histograms are plain atomic
+// arrays (no locks, no allocation), and the event ring is bounded.
+package obsv
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies an instrumented operation of the RSR lifecycle.
+type Stage uint8
+
+// The instrumented stages. Send, Dial, Poll, QueueWait, and Handler are the
+// five per-(method, stage) latency histograms; Relay is recorded by
+// forwarding contexts for frames relayed toward other contexts.
+const (
+	// StageSend is one Conn.Send call on the sending context.
+	StageSend Stage = iota
+	// StageDial is one Module.Dial call (connection establishment).
+	StageDial
+	// StagePoll is one Module.Poll call on the receiving context. In trace
+	// events the poll stage instead carries detection latency: the time from
+	// the start of the poll pass to the frame's delivery.
+	StagePoll
+	// StageQueueWait is the time a frame spent queued in a dispatch lane
+	// between enqueue and pickup (threaded contexts only).
+	StageQueueWait
+	// StageHandler is the handler's execution time.
+	StageHandler
+	// StageRelay is a forwarder's re-send of a frame addressed elsewhere.
+	StageRelay
+
+	// NumStages is the number of instrumented stages.
+	NumStages = int(StageRelay) + 1
+)
+
+var stageNames = [NumStages]string{"send", "dial", "poll", "queue", "handler", "relay"}
+
+func (s Stage) String() string {
+	if int(s) < NumStages {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// NumBuckets is the histogram resolution: bucket i counts durations d with
+// 2^(i-1) ns < d ≤ 2^i ns (bucket 0 counts d ≤ 1 ns). 40 buckets reach
+// 2^39 ns ≈ 9.2 minutes; anything longer clamps into the last bucket.
+const NumBuckets = 40
+
+// Histogram is a lock-free fixed-bucket log₂(ns) latency histogram. The zero
+// value is ready to use. Record costs two atomic adds and one atomic
+// increment; there is no locking and no allocation on any path.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	ns := uint64(d)
+	if d < 0 {
+		ns = 0
+	}
+	b := bits.Len64(ns) // 1ns -> 1, 2ns -> 2, ... 2^k ns -> k+1
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(uint64(d))
+	h.buckets[bucketFor(d)].Add(1)
+}
+
+// Count reports the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean reports the mean observation, or 0 with no observations. It reads the
+// count and sum with two atomic loads — cheap enough for selection policies
+// to call on every selection pass.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Snapshot captures the histogram's current state. Buckets are read without
+// a global lock, so a snapshot taken during concurrent recording may be off
+// by in-flight observations; post-mortem and monitoring use does not care.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sumNS.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Buckets [NumBuckets]uint64
+}
+
+// Mean reports the snapshot's mean observation (0 with no observations).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile reports the q-quantile (0 < q ≤ 1) as the upper bound of the
+// bucket containing it — a conservative estimate with log₂ resolution.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	total := uint64(0)
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	seen := uint64(0)
+	for i, b := range s.Buckets {
+		seen += b
+		if seen > rank {
+			if i == 0 {
+				return time.Nanosecond
+			}
+			return time.Duration(uint64(1) << uint(i)) // bucket upper bound
+		}
+	}
+	return time.Duration(uint64(1) << (NumBuckets - 1))
+}
+
+// P50, P95, and P99 are the quantiles the snapshot surfaces report.
+func (s HistogramSnapshot) P50() time.Duration { return s.Quantile(0.50) }
+func (s HistogramSnapshot) P95() time.Duration { return s.Quantile(0.95) }
+func (s HistogramSnapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+// StageSet holds one method's histograms, one per stage. The zero value is
+// ready to use; the core allocates one per enabled method.
+type StageSet struct {
+	stages [NumStages]Histogram
+}
+
+// Stage returns the histogram for one stage.
+func (ss *StageSet) Stage(s Stage) *Histogram { return &ss.stages[s] }
+
+// TraceID is the 16-byte identifier carried in the optional wire-header
+// extension: bytes 0–7 are the trace half (constant across every context an
+// RSR touches), bytes 8–15 the span half (fresh per RSR send). Receivers and
+// relays propagate the full 16 bytes verbatim, which is what lets one dump
+// line up events from both sides of a link.
+type TraceID [16]byte
+
+// IsZero reports whether the id is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the id as trace-span hex.
+func (t TraceID) String() string {
+	return hex.EncodeToString(t[:8]) + "-" + hex.EncodeToString(t[8:])
+}
+
+// IDGen generates trace IDs: a splitmix64 walk from a caller-supplied seed.
+// Generation is one atomic add plus a few multiplies — cheap enough to run
+// per RSR with tracing on, and good enough to make collisions across
+// contexts (seeded with distinct context ids and start times) negligible.
+type IDGen struct {
+	state atomic.Uint64
+	seed  uint64
+}
+
+// NewIDGen returns a generator whose ids are derived from seed.
+func NewIDGen(seed uint64) *IDGen {
+	g := &IDGen{seed: splitmix64(seed ^ 0x9e3779b97f4a7c15)}
+	g.state.Store(seed)
+	return g
+}
+
+// Next returns a fresh trace ID (both halves newly generated).
+func (g *IDGen) Next() TraceID {
+	var t TraceID
+	n := g.state.Add(1)
+	hi := splitmix64(n ^ g.seed)
+	lo := splitmix64(hi ^ n)
+	for i := 0; i < 8; i++ {
+		t[i] = byte(hi >> (8 * i))
+		t[8+i] = byte(lo >> (8 * i))
+	}
+	if t.IsZero() { // the zero id means "no trace"; never hand it out
+		t[0] = 1
+	}
+	return t
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Event is one trace record in a context's ring buffer.
+type Event struct {
+	// Time is the wall-clock time the event was recorded.
+	Time time.Time
+	// Trace is the RSR's trace ID (zero for untraced operations that were
+	// recorded while tracing was on, e.g. a dial outside any send).
+	Trace TraceID
+	// Stage identifies the operation.
+	Stage Stage
+	// Method is the communication method involved.
+	Method string
+	// Context is the recording context.
+	Context uint64
+	// Peer is the other context: the destination on send/dial/relay events,
+	// the source on receive-side events (0 when unknown).
+	Peer uint64
+	// Endpoint is the destination endpoint (receive-side events).
+	Endpoint uint64
+	// Handler names the invoked handler (receive-side events).
+	Handler string
+	// Dur is the operation's duration. On StagePoll events it is the
+	// detection latency: time from the start of the poll pass that found the
+	// frame to its delivery.
+	Dur time.Duration
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s ctx=%d peer=%d %s/%s dur=%s trace=%s",
+		e.Time.Format("15:04:05.000000"), e.Context, e.Peer, e.Method, e.Stage, e.Dur, e.Trace)
+}
+
+// Ring is a bounded event buffer: appends past capacity overwrite the oldest
+// events, so the ring always holds the most recent window — a post-mortem
+// flight recorder, not a complete log. Appends and dumps are guarded by one
+// mutex; tracing-on overhead is one uncontended lock per event, and the
+// disabled path never reaches the ring at all.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever appended
+}
+
+// NewRing returns a ring holding at most capacity events (minimum 16).
+func NewRing(capacity int) *Ring {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Append records one event, overwriting the oldest once full.
+func (r *Ring) Append(e Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.total%uint64(cap(r.buf))] = e
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Dump returns the buffered events, oldest first.
+func (r *Ring) Dump() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		head := int(r.total % uint64(cap(r.buf)))
+		out = append(out, r.buf[head:]...)
+		out = append(out, r.buf[:head]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Len reports the number of buffered events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Cap reports the ring's capacity.
+func (r *Ring) Cap() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return cap(r.buf)
+}
+
+// Total reports the number of events ever appended (buffered + overwritten).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Latency is one (method, stage) histogram in a Snapshot.
+type Latency struct {
+	Method string        `json:"method"`
+	Stage  string        `json:"stage"`
+	Count  uint64        `json:"count"`
+	Mean   time.Duration `json:"mean_ns"`
+	P50    time.Duration `json:"p50_ns"`
+	P95    time.Duration `json:"p95_ns"`
+	P99    time.Duration `json:"p99_ns"`
+}
+
+// Snapshot is the typed observability snapshot returned by Context.Observe
+// and served by the /debug/nexusz handler.
+type Snapshot struct {
+	// Context is the observed context's id; Process its hosting process.
+	Context uint64 `json:"context"`
+	Process string `json:"process"`
+	// StatsEnabled and TraceEnabled report the observability mode.
+	StatsEnabled bool `json:"stats_enabled"`
+	TraceEnabled bool `json:"trace_enabled"`
+	// Counters is the context's enquiry counter set.
+	Counters map[string]uint64 `json:"counters"`
+	// Latencies holds every (method, stage) histogram with at least one
+	// observation, sorted by method then stage.
+	Latencies []Latency `json:"latencies"`
+	// TraceBuffered, TraceCapacity, and TraceTotal describe the event ring.
+	TraceBuffered int    `json:"trace_buffered"`
+	TraceCapacity int    `json:"trace_capacity"`
+	TraceTotal    uint64 `json:"trace_total"`
+}

@@ -1,0 +1,229 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{1024, 11},
+		{time.Hour, NumBuckets - 1}, // clamps
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramRecordAndMean(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("zero histogram not empty")
+	}
+	h.Record(100)
+	h.Record(300)
+	if h.Count() != 2 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 200 {
+		t.Errorf("Mean = %d, want 200", h.Mean())
+	}
+	h.Record(-50) // clamps to 0
+	if h.Count() != 3 {
+		t.Errorf("Count after negative = %d", h.Count())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 observations around 1µs, 10 around 1ms: p50 lands in the µs bucket,
+	// p99 in the ms bucket.
+	for i := 0; i < 90; i++ {
+		h.Record(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	p50, p99 := s.P50(), s.P99()
+	if p50 < time.Microsecond || p50 > 2*time.Microsecond {
+		t.Errorf("P50 = %s, want ~1-2µs", p50)
+	}
+	if p99 < time.Millisecond || p99 > 2*time.Millisecond {
+		t.Errorf("P99 = %s, want ~1-2ms", p99)
+	}
+	if s.Quantile(1.0) < p99 {
+		t.Errorf("Quantile(1.0) = %s below P99 %s", s.Quantile(1.0), p99)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Errorf("empty quantile = %s", empty.Quantile(0.5))
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	s := h.Snapshot()
+	var inBuckets uint64
+	for _, b := range s.Buckets {
+		inBuckets += b
+	}
+	if inBuckets != workers*per {
+		t.Errorf("bucket sum = %d, want %d", inBuckets, workers*per)
+	}
+}
+
+func TestTraceIDGen(t *testing.T) {
+	g := NewIDGen(42)
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 1000; i++ {
+		id := g.Next()
+		if id.IsZero() {
+			t.Fatal("generator produced the zero id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id after %d draws: %s", i, id)
+		}
+		seen[id] = true
+	}
+	// Distinct seeds must not walk the same sequence.
+	g2 := NewIDGen(43)
+	if g2.Next() == NewIDGen(42).Next() {
+		t.Error("distinct seeds produced identical first ids")
+	}
+	id := g.Next()
+	str := id.String()
+	if len(str) != 33 || str[16] != '-' {
+		t.Errorf("String format: %q", str)
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	r := NewRing(16)
+	if r.Cap() != 16 {
+		t.Fatalf("Cap = %d", r.Cap())
+	}
+	for i := 0; i < 40; i++ {
+		r.Append(Event{Endpoint: uint64(i)})
+	}
+	if r.Len() != 16 || r.Total() != 40 {
+		t.Fatalf("Len = %d, Total = %d", r.Len(), r.Total())
+	}
+	events := r.Dump()
+	if len(events) != 16 {
+		t.Fatalf("Dump len = %d", len(events))
+	}
+	for i, e := range events {
+		if want := uint64(24 + i); e.Endpoint != want {
+			t.Errorf("Dump[%d].Endpoint = %d, want %d (oldest-first window)", i, e.Endpoint, want)
+		}
+	}
+	// Partially filled ring dumps in insertion order.
+	r2 := NewRing(64)
+	r2.Append(Event{Endpoint: 7})
+	r2.Append(Event{Endpoint: 8})
+	d := r2.Dump()
+	if len(d) != 2 || d[0].Endpoint != 7 || d[1].Endpoint != 8 {
+		t.Errorf("partial Dump = %v", d)
+	}
+	// Minimum capacity is enforced.
+	if NewRing(0).Cap() < 16 {
+		t.Error("NewRing(0) below minimum capacity")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	want := map[Stage]string{
+		StageSend: "send", StageDial: "dial", StagePoll: "poll",
+		StageQueueWait: "queue", StageHandler: "handler", StageRelay: "relay",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("Stage(%d).String() = %q, want %q", s, s.String(), name)
+		}
+	}
+	if Stage(99).String() != "stage(99)" {
+		t.Errorf("out-of-range stage: %q", Stage(99).String())
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	src := func() []Snapshot {
+		return []Snapshot{{
+			Context: 3, Process: "p1", StatsEnabled: true, TraceEnabled: true,
+			Counters: map[string]uint64{"rsr.sent": 12, "bytes.sent": 480},
+			Latencies: []Latency{{
+				Method: "tcp", Stage: "send", Count: 12,
+				Mean: 900, P50: 1024, P95: 2048, P99: 2048,
+			}},
+			TraceBuffered: 4, TraceCapacity: 64, TraceTotal: 4,
+		}}
+	}
+	h := Handler(src)
+
+	// Text rendering.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/nexusz", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"context 3", "tcp", "send", "rsr.sent", "stats=true"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text output missing %q:\n%s", want, body)
+		}
+	}
+
+	// JSON rendering via query parameter.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/nexusz?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var snaps []Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snaps); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if len(snaps) != 1 || snaps[0].Context != 3 || snaps[0].Counters["rsr.sent"] != 12 {
+		t.Errorf("JSON round-trip = %+v", snaps)
+	}
+
+	// JSON via Accept header.
+	req := httptest.NewRequest("GET", "/debug/nexusz", nil)
+	req.Header.Set("Accept", "application/json")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Accept-negotiated Content-Type = %q", ct)
+	}
+}

@@ -387,7 +387,11 @@ func (ic *inConn) extract(sink transport.Sink) int {
 		}
 		b := ic.buf[consumed:]
 		size := int(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
-		if size > wire.MaxPayload+4096 {
+		if size > wire.MaxFrameLen {
+			// The old clamp (MaxPayload plus hand-picked slack) undercounted
+			// the header and killed connections carrying legal frames with
+			// maximal handler names; MaxFrameLen accounts for every header
+			// version and extension.
 			ic.isDead = true
 			break
 		}

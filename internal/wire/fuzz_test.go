@@ -12,6 +12,15 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{magic, version, TypeRSR})
 	f.Add((&Frame{Type: TypeForward, Handler: "h", Payload: []byte{1}}).Encode())
+	// Extended-header seeds: a traced frame, and near-miss corruptions of
+	// its flags byte, steering the fuzzer into the versionExt parse paths.
+	traced := &Frame{Type: TypeRSR, Flags: FlagTrace,
+		Trace: [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		Handler: "traced", Payload: []byte{0xAB}}
+	f.Add(traced.Encode())
+	badFlags := traced.Encode()
+	badFlags[3] = 0xFF
+	f.Add(badFlags)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := Decode(data)
 		if err != nil {
@@ -28,6 +37,10 @@ func FuzzReadFrame(f *testing.F) {
 	var good bytes.Buffer
 	_ = WriteFrame(&good, sample().Encode())
 	f.Add(good.Bytes())
+	var goodExt bytes.Buffer
+	_ = WriteFrame(&goodExt, (&Frame{Type: TypeRSR, Flags: FlagTrace,
+		Trace: [16]byte{9}, Handler: "t"}).Encode())
+	f.Add(goodExt.Bytes())
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -48,8 +48,16 @@ const (
 	magic   = byte('N')
 	version = byte(1)
 
-	// headerFixed is the size of the fixed part of the header:
+	// versionExt is the extended header version: identical to v1 except that
+	// a flags byte follows the type byte, and flag-selected extensions are
+	// appended after the fixed header. The encoder only emits versionExt when
+	// at least one extension is present, so plain frames stay byte-identical
+	// to v1 and old decoders keep reading them.
+	versionExt = byte(2)
+
+	// headerFixed is the size of the fixed part of the v1 header:
 	// magic, version, type, destCtx(8), destEP(8), srcCtx(8), handlerLen(2).
+	// A versionExt header is one byte longer (the flags byte after type).
 	headerFixed = 3 + 8 + 8 + 8 + 2
 
 	// MaxHandlerLen bounds handler-name length on the wire.
@@ -57,6 +65,30 @@ const (
 	// MaxPayload bounds a frame's payload size (64 MiB); a guard against
 	// corrupt length prefixes on stream transports.
 	MaxPayload = 64 << 20
+
+	// traceExtLen is the size of the trace extension: a 16-byte trace/span id.
+	traceExtLen = 16
+
+	// MaxFrameLen is the largest encoded frame any version can produce:
+	// extended fixed header, maximal handler name, every extension, payload
+	// length prefix, and maximal payload. Stream and datagram transports use
+	// it to clamp corrupt length prefixes; the old per-transport guesswork
+	// (MaxPayload plus a hand-picked slack) undercounted the header and
+	// could kill a connection carrying a legal frame with a maximal handler
+	// name.
+	MaxFrameLen = headerFixed + 1 + traceExtLen + MaxHandlerLen + 4 + MaxPayload
+)
+
+// Header extension flags (versionExt frames only).
+const (
+	// FlagTrace marks a 16-byte trace/span id appended after the fixed
+	// header, before the handler name.
+	FlagTrace = byte(1 << 0)
+
+	// knownFlags is the set of flags this decoder understands. Unknown flags
+	// change the header length, so a frame carrying any is undecodable and
+	// rejected rather than misparsed.
+	knownFlags = FlagTrace
 )
 
 // Errors returned by frame decoding.
@@ -65,12 +97,17 @@ var (
 	ErrBadMagic   = errors.New("wire: bad magic byte")
 	ErrBadVersion = errors.New("wire: unsupported version")
 	ErrOversize   = errors.New("wire: frame exceeds size limits")
+	ErrBadFlags   = errors.New("wire: unknown or empty header flags")
 )
 
 // Frame is a decoded message frame.
 type Frame struct {
 	// Type discriminates RSR, forwarded, and control frames.
 	Type byte
+	// Flags records which header extensions the frame carries. A frame with
+	// any flag set encodes with the extended (versionExt) header; a frame
+	// with no flags encodes byte-identically to wire version 1.
+	Flags byte
 	// DestContext is the context the frame must be delivered to. A
 	// forwarding context uses it to route frames not addressed to itself.
 	DestContext uint64
@@ -78,15 +115,34 @@ type Frame struct {
 	DestEndpoint uint64
 	// SrcContext identifies the sending context.
 	SrcContext uint64
+	// Trace is the 16-byte trace/span id carried by the FlagTrace extension
+	// (all zero when the flag is absent).
+	Trace [16]byte
 	// Handler names the remote handler to invoke.
 	Handler string
 	// Payload is the encoded argument buffer (see internal/buffer).
 	Payload []byte
 }
 
+// HasTrace reports whether the frame carries the trace extension.
+func (f *Frame) HasTrace() bool { return f.Flags&FlagTrace != 0 }
+
+// extLen reports the total length of the extensions selected by flags,
+// including the flags byte itself (0 for a v1 frame with no flags).
+func extLen(flags byte) int {
+	if flags == 0 {
+		return 0
+	}
+	n := 1 // the flags byte
+	if flags&FlagTrace != 0 {
+		n += traceExtLen
+	}
+	return n
+}
+
 // EncodedLen reports the number of bytes Encode will produce.
 func (f *Frame) EncodedLen() int {
-	return headerFixed + len(f.Handler) + 4 + len(f.Payload)
+	return headerFixed + extLen(f.Flags) + len(f.Handler) + 4 + len(f.Payload)
 }
 
 // HeaderLen reports the encoded size of everything before the payload bytes —
@@ -95,6 +151,12 @@ func (f *Frame) EncodedLen() int {
 // bytes occupies HeaderLen(len(handler)) + payloadLen bytes in total.
 func HeaderLen(handlerLen int) int {
 	return headerFixed + handlerLen + 4
+}
+
+// HeaderLenExt is HeaderLen for a frame carrying the extensions selected by
+// flags. HeaderLenExt(n, 0) == HeaderLen(n).
+func HeaderLenExt(handlerLen int, flags byte) int {
+	return headerFixed + extLen(flags) + handlerLen + 4
 }
 
 // EncodeHeader writes a frame header — fixed part, handler name, and payload
@@ -117,15 +179,47 @@ func EncodeHeader(dst []byte, typ byte, destCtx, destEP, srcCtx uint64, handler 
 	return n + 4
 }
 
+// EncodeHeaderExt is EncodeHeader for a frame carrying header extensions:
+// flags selects the extensions, trace fills the FlagTrace one. dst must have
+// length at least HeaderLenExt(len(handler), flags). With flags == 0 it
+// produces exactly the v1 bytes EncodeHeader would, so callers can route
+// every send through it and pay the extension cost only when one is present.
+func EncodeHeaderExt(dst []byte, typ, flags byte, destCtx, destEP, srcCtx uint64, trace [16]byte, handler string, payloadLen int) int {
+	if flags == 0 {
+		return EncodeHeader(dst, typ, destCtx, destEP, srcCtx, handler, payloadLen)
+	}
+	dst[0] = magic
+	dst[1] = versionExt
+	dst[2] = typ
+	dst[3] = flags
+	binary.BigEndian.PutUint64(dst[4:], destCtx)
+	binary.BigEndian.PutUint64(dst[12:], destEP)
+	binary.BigEndian.PutUint64(dst[20:], srcCtx)
+	binary.BigEndian.PutUint16(dst[28:], uint16(len(handler)))
+	n := headerFixed + 1
+	if flags&FlagTrace != 0 {
+		n += copy(dst[n:], trace[:])
+	}
+	n += copy(dst[n:], handler)
+	binary.BigEndian.PutUint32(dst[n:], uint32(payloadLen))
+	return n + 4
+}
+
 // PatchDest rewrites the destination context and endpoint words of an
 // encoded frame in place, leaving every other byte untouched. dst must hold
 // at least the fixed header (any slice produced by Encode/EncodeHeader
 // qualifies). This is how a multicast startpoint re-addresses a single
-// encoded frame per target instead of re-encoding it.
+// encoded frame per target instead of re-encoding it. Extended headers shift
+// the destination words one byte right (the flags byte); the version byte
+// says which layout dst uses.
 func PatchDest(dst []byte, ctx, ep uint64) {
-	_ = dst[headerFixed-1] // bounds hint: one check instead of two
-	binary.BigEndian.PutUint64(dst[3:], ctx)
-	binary.BigEndian.PutUint64(dst[11:], ep)
+	off := 3
+	if dst[1] == versionExt {
+		off = 4
+	}
+	_ = dst[off+15] // bounds hint: one check instead of two
+	binary.BigEndian.PutUint64(dst[off:], ctx)
+	binary.BigEndian.PutUint64(dst[off+8:], ep)
 }
 
 // Encode serializes the frame.
@@ -136,19 +230,12 @@ func (f *Frame) Encode() []byte {
 }
 
 // EncodeTo serializes the frame into dst, which must have length at least
-// EncodedLen. It returns the number of bytes written.
+// EncodedLen. It returns the number of bytes written. A frame with no flags
+// encodes as wire version 1; any flag selects the extended header.
 func (f *Frame) EncodeTo(dst []byte) int {
-	dst[0] = magic
-	dst[1] = version
-	dst[2] = f.Type
-	binary.BigEndian.PutUint64(dst[3:], f.DestContext)
-	binary.BigEndian.PutUint64(dst[11:], f.DestEndpoint)
-	binary.BigEndian.PutUint64(dst[19:], f.SrcContext)
-	binary.BigEndian.PutUint16(dst[27:], uint16(len(f.Handler)))
-	n := headerFixed
-	n += copy(dst[n:], f.Handler)
-	binary.BigEndian.PutUint32(dst[n:], uint32(len(f.Payload)))
-	n += 4
+	n := EncodeHeaderExt(dst, f.Type, f.Flags,
+		f.DestContext, f.DestEndpoint, f.SrcContext, f.Trace,
+		f.Handler, len(f.Payload))
 	n += copy(dst[n:], f.Payload)
 	return n
 }
@@ -175,18 +262,52 @@ func DecodeInto(f *Frame, p []byte) error {
 	if p[0] != magic {
 		return ErrBadMagic
 	}
-	if p[1] != version {
+	var n, hl int
+	switch p[1] {
+	case version:
+		// v1 layout, unchanged since the first release: frames from old
+		// encoders decode here byte-for-byte as they always did.
+		f.Flags = 0
+		f.Trace = [16]byte{}
+		f.Type = p[2]
+		f.DestContext = binary.BigEndian.Uint64(p[3:])
+		f.DestEndpoint = binary.BigEndian.Uint64(p[11:])
+		f.SrcContext = binary.BigEndian.Uint64(p[19:])
+		hl = int(binary.BigEndian.Uint16(p[27:]))
+		n = headerFixed
+	case versionExt:
+		if len(p) < headerFixed+1+4 {
+			return ErrShortFrame
+		}
+		flags := p[3]
+		// An extended header with no extensions is never produced by the
+		// encoder, and unknown flag bits make the header length ambiguous:
+		// reject both rather than misparse.
+		if flags == 0 || flags&^knownFlags != 0 {
+			return ErrBadFlags
+		}
+		f.Flags = flags
+		f.Type = p[2]
+		f.DestContext = binary.BigEndian.Uint64(p[4:])
+		f.DestEndpoint = binary.BigEndian.Uint64(p[12:])
+		f.SrcContext = binary.BigEndian.Uint64(p[20:])
+		hl = int(binary.BigEndian.Uint16(p[28:]))
+		n = headerFixed + 1
+		if flags&FlagTrace != 0 {
+			if len(p) < n+traceExtLen+4 {
+				return ErrShortFrame
+			}
+			copy(f.Trace[:], p[n:n+traceExtLen])
+			n += traceExtLen
+		} else {
+			f.Trace = [16]byte{}
+		}
+	default:
 		return ErrBadVersion
 	}
-	f.Type = p[2]
-	f.DestContext = binary.BigEndian.Uint64(p[3:])
-	f.DestEndpoint = binary.BigEndian.Uint64(p[11:])
-	f.SrcContext = binary.BigEndian.Uint64(p[19:])
-	hl := int(binary.BigEndian.Uint16(p[27:]))
 	if hl > MaxHandlerLen {
 		return ErrOversize
 	}
-	n := headerFixed
 	if len(p) < n+hl+4 {
 		return ErrShortFrame
 	}
@@ -211,7 +332,7 @@ func DecodeInto(f *Frame, p []byte) error {
 // a single Write call (two writes per frame means two syscalls — and, on a
 // socket without TCP_NODELAY, risks a header-only segment).
 func WriteFrame(w io.Writer, encoded []byte) error {
-	if len(encoded) > MaxPayload+headerFixed+MaxHandlerLen+4 {
+	if len(encoded) > MaxFrameLen {
 		return ErrOversize
 	}
 	buf := bufpool.Get(4 + len(encoded))
@@ -233,7 +354,7 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	n := int(binary.BigEndian.Uint32(hdr[:]))
-	if n > MaxPayload+headerFixed+MaxHandlerLen+4 {
+	if n > MaxFrameLen {
 		return nil, ErrOversize
 	}
 	p := bufpool.Get(n)

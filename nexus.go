@@ -36,12 +36,15 @@
 package nexus
 
 import (
+	"net/http"
+
 	"nexus/internal/buffer"
 	"nexus/internal/climate"
 	"nexus/internal/cluster"
 	"nexus/internal/core"
 	"nexus/internal/mpi"
 	"nexus/internal/names"
+	"nexus/internal/obsv"
 	"nexus/internal/pipeline"
 	"nexus/internal/resource"
 	"nexus/internal/transport"
@@ -90,7 +93,56 @@ type (
 	DispatchConfig = core.DispatchConfig
 	// DispatchPolicy selects what a full dispatch lane does with a frame.
 	DispatchPolicy = core.DispatchPolicy
+	// ObserveConfig configures a context's observability subsystem
+	// (latency histograms, RSR tracing) at construction.
+	ObserveConfig = core.ObserveConfig
+	// ObserveSnapshot is the typed observability snapshot returned by
+	// Context.Observe: counters, per-(method, stage) latency percentiles,
+	// and trace-ring occupancy.
+	ObserveSnapshot = obsv.Snapshot
+	// LatencySummary is one (method, stage) row of an ObserveSnapshot.
+	LatencySummary = obsv.Latency
+	// TraceEvent is one buffered RSR trace event (Context.TraceDump).
+	TraceEvent = obsv.Event
+	// TraceID is the 16-byte trace/span identifier carried in traced RSR
+	// wire headers across contexts.
+	TraceID = obsv.TraceID
+	// TraceStage identifies the instrumented pipeline stage of a trace
+	// event or latency row.
+	TraceStage = obsv.Stage
 )
+
+// Instrumented RSR pipeline stages.
+const (
+	// StageSend is the transport Send call on the sending context.
+	StageSend = obsv.StageSend
+	// StageDial is connection establishment for a link's first RSR.
+	StageDial = obsv.StageDial
+	// StagePoll is detection: module poll cost in histograms, detection
+	// latency in trace events.
+	StagePoll = obsv.StagePoll
+	// StageQueueWait is time spent queued in a threaded dispatch lane.
+	StageQueueWait = obsv.StageQueueWait
+	// StageHandler is handler execution at the receiving context.
+	StageHandler = obsv.StageHandler
+	// StageRelay is the re-send performed by a forwarding context.
+	StageRelay = obsv.StageRelay
+)
+
+// DebugHandler returns the opt-in /debug/nexusz HTTP handler rendering live
+// observability snapshots of the given contexts (text by default,
+// ?format=json for JSON). It is never registered automatically:
+//
+//	http.Handle("/debug/nexusz", nexus.DebugHandler(ctx))
+func DebugHandler(ctxs ...*Context) http.Handler {
+	return obsv.Handler(func() []obsv.Snapshot {
+		snaps := make([]obsv.Snapshot, 0, len(ctxs))
+		for _, c := range ctxs {
+			snaps = append(snaps, c.Observe())
+		}
+		return snaps
+	})
+}
 
 // Circuit-breaker states reported by Context.HealthSnapshot.
 const (
@@ -119,8 +171,13 @@ var (
 	WithData = core.WithData
 	// FirstApplicable is the paper's automatic selection rule.
 	FirstApplicable core.Selector = core.FirstApplicable
-	// CheapestPoll selects the applicable method with the lowest poll cost.
+	// CheapestPoll selects the applicable method with the lowest poll cost
+	// (observed mean when stats are enabled, module hint otherwise).
 	CheapestPoll core.Selector = core.CheapestPoll
+	// FastestObserved selects the applicable method with the lowest
+	// observed mean send latency, falling back to FirstApplicable until
+	// the histograms have data.
+	FastestObserved core.Selector = core.FastestObserved
 	// PreferOrder builds a programmer-directed selection policy.
 	PreferOrder = core.PreferOrder
 	// HealthAware wraps a selector so it skips methods whose circuit is
