@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nexus/internal/bufpool"
+	"nexus/internal/frag"
+	"nexus/internal/obsv"
+	"nexus/internal/transport"
+	"nexus/internal/wire"
+)
+
+// This file implements the bulk-data path: what happens when one RSR's
+// encoded frame is larger than the selected communication method can carry.
+// The paper's methods differ not just in latency but in message-size limits —
+// a datagram method tops out at the MTU-ish frame its socket accepts, while a
+// stream method carries anything — and forcing applications to know each
+// method's limit would leak the selection decision the architecture exists to
+// hide. Instead the sender splits an oversized frame into wire fragments
+// (wire.FlagFrag), each an ordinary frame the method accepts, and the
+// receiving context reassembles them (internal/frag) before dispatch. The
+// split is per link: one multicast RSR can go whole down a TCP link and
+// fragmented down a UDP link from the same encode.
+
+// FragConfig tunes the receive-side fragment reassembler. Zero fields select
+// the package frag defaults; the per-message size cap is always the context's
+// MaxMessageSize, so a context never buffers a partial message it would
+// refuse to send.
+type FragConfig struct {
+	// TTL is how long a partial message may wait for missing fragments,
+	// measured from its first fragment, before being dropped (frag.expired).
+	TTL time.Duration
+	// PerPeerBudget caps the bytes buffered across all partial messages from
+	// one source context (default twice MaxMessageSize).
+	PerPeerBudget int
+	// MaxFragments caps one message's fragment count.
+	MaxFragments int
+	// MaxPartials caps concurrently open partial messages per peer; opening
+	// one more evicts that peer's oldest.
+	MaxPartials int
+}
+
+func (fc FragConfig) toFragConfig(maxMsg int) frag.Config {
+	return frag.Config{
+		MaxMessage:    maxMsg,
+		PerPeerBudget: fc.PerPeerBudget,
+		TTL:           fc.TTL,
+		MaxFragments:  fc.MaxFragments,
+		MaxPartials:   fc.MaxPartials,
+	}
+}
+
+// fragmentTo sends one logical RSR as a sequence of fragment frames over a
+// bound communication object, each at most maxMsg encoded bytes. payload is
+// the already-encoded argument buffer (the tail of the whole-frame encoding,
+// so fragmentation reuses the single payload copy the zero-copy path made).
+// All fragments share a message id fresh from the owner's counter and the
+// caller's trace id, so one traced bulk send is one span family at the
+// receiver. An error from any fragment's Send aborts the remainder; the
+// caller's recovery path re-fragments under a new message id and the receiver
+// expires the abandoned partial.
+func (sp *Startpoint) fragmentTo(conn transport.Conn, maxMsg int, destCtx transport.ContextID, destEP uint64,
+	flags byte, tid obsv.TraceID, handler string, payload []byte) error {
+	owner := sp.owner
+	fragFlags := flags | wire.FlagFrag
+	hdr := wire.HeaderLenExt(len(handler), fragFlags)
+	chunk := maxMsg - hdr
+	if chunk <= 0 {
+		return fmt.Errorf("core: method frame limit of %d bytes cannot carry fragment headers: %w",
+			maxMsg, transport.ErrTooLarge)
+	}
+	total := (len(payload) + chunk - 1) / chunk
+	if total > frag.DefaultMaxFragments {
+		return fmt.Errorf("core: payload of %d bytes needs %d fragments at frame limit %d (max %d): %w",
+			len(payload), total, maxMsg, frag.DefaultMaxFragments, transport.ErrTooLarge)
+	}
+	msgID := owner.nextMsgID.Add(1)
+	buf := bufpool.Get(min(maxMsg, hdr+len(payload)))
+	defer bufpool.Put(buf)
+	ext := wire.Ext{Trace: [16]byte(tid), FragID: msgID, FragTotal: uint32(total)}
+	for i := 0; i < total; i++ {
+		lo := i * chunk
+		hi := min(lo+chunk, len(payload))
+		ext.FragIndex = uint32(i)
+		n := wire.EncodeHeaderExt(buf, wire.TypeRSR, fragFlags,
+			uint64(destCtx), destEP, uint64(owner.id), ext, handler, hi-lo)
+		n += copy(buf[n:], payload[lo:hi])
+		if err := conn.Send(buf[:n]); err != nil {
+			return err
+		}
+		owner.cFragTx.Inc()
+	}
+	owner.cFragMsgs.Inc()
+	return nil
+}
+
+// sendToTargetLocked sends an encoded frame on a bound target, re-addressing
+// it for the target and fragmenting when it exceeds the target's frame limit.
+// It is the size-aware twin of a bare conn.Send for the locked recovery paths
+// (stale-snapshot retry, failover): after a mid-message failure the message
+// re-fragments under a FRESH message id on whatever method selection now
+// prefers — the receiver cannot stitch fragments from two attempts together,
+// so the abandoned partial expires and delivery stays all-or-nothing. Caller
+// holds sp.mu, and t.conn is non-nil.
+func (sp *Startpoint) sendToTargetLocked(t *target, enc []byte, handler string, flags byte, off int, tid obsv.TraceID) error {
+	wire.PatchDest(enc, uint64(t.context), t.endpoint)
+	if t.maxMsg > 0 && len(enc) > t.maxMsg {
+		return sp.fragmentTo(t.conn.conn, t.maxMsg, t.context, t.endpoint, flags, tid, handler, enc[off:])
+	}
+	return t.conn.conn.Send(enc)
+}
+
+// handleFragment buffers one inbound fragment; the fragment that completes
+// its message re-enters the delivery path carrying the reassembled payload,
+// so handlers only ever observe whole messages. Runs on the polling
+// goroutine (via dispatch), like any other delivery.
+func (c *Context) handleFragment(ms *moduleState, f *wire.Frame) {
+	c.cFragRx.Inc()
+	payload, res, evicted := c.frags.Add(f.SrcContext, f.FragID, f.FragIndex, f.FragTotal, f.Payload, time.Now())
+	if evicted > 0 {
+		c.cFragExpired.Add(uint64(evicted))
+	}
+	switch res {
+	case frag.Stored:
+		return
+	case frag.Duplicate:
+		c.cFragDup.Inc()
+		return
+	case frag.Invalid:
+		c.cFragDropped.Inc()
+		return
+	case frag.OverBudget, frag.TooLarge:
+		c.cFragDropped.Inc()
+		c.errlog(fmt.Errorf("core: context %d: dropped partial message %#x from context %d: %s",
+			c.id, f.FragID, f.SrcContext, res))
+		return
+	}
+	c.cFragAssembled.Inc()
+	// Rebuild the logical frame: same addressing, trace, and handler; the
+	// fragment extension gone and the whole payload in place.
+	nf := *f
+	nf.Flags &^= wire.FlagFrag
+	nf.FragID, nf.FragIndex, nf.FragTotal = 0, 0, 0
+	nf.Payload = payload
+	if c.dispatcher != nil {
+		// The dispatch lanes need the frame in one owned buffer; encode the
+		// rebuilt frame into pooled storage and hand ownership over rather
+		// than paying enqueue's copy on a multi-megabyte payload.
+		buf := bufpool.Get(nf.EncodedLen())
+		nf.EncodeTo(buf)
+		bufpool.Put(payload)
+		c.dispatcher.enqueueOwned(ms, nf.DestEndpoint, buf)
+		return
+	}
+	c.deliver(ms, &nf)
+	bufpool.Put(payload)
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"nexus/internal/buffer"
+	"nexus/internal/frag"
 	"nexus/internal/metrics"
 	"nexus/internal/obsv"
 	"nexus/internal/transport"
@@ -107,6 +108,16 @@ type Options struct {
 	// RSR tracing). The zero value leaves it off — the default, and the
 	// configuration the hot-path overhead contract is written against.
 	Observe ObserveConfig
+	// MaxMessageSize caps one RSR's encoded payload in bytes (default 16 MiB,
+	// clamped to the wire format's 64 MiB payload cap). Payloads up to this
+	// size are accepted on every link: a payload too large for the selected
+	// method's frame limit travels as wire fragments and is reassembled at
+	// the receiving context. Larger payloads are rejected with an error
+	// matching transport.ErrTooLarge.
+	MaxMessageSize int
+	// Frag tunes the receive-side fragment reassembler (buffering budgets,
+	// stale-partial TTL). The zero value selects defaults.
+	Frag FragConfig
 }
 
 var nextContextID atomic.Uint64
@@ -136,6 +147,21 @@ type Context struct {
 	cRSRFailover *metrics.Counter
 	cDropUnkEP   *metrics.Counter // rsr.dropped.unknown_endpoint
 	cDropUnkH    *metrics.Counter // rsr.dropped.unknown_handler
+
+	// Bulk-data path state (see bulk.go): the payload cap, the receive-side
+	// reassembler, the fragmented-message id generator, the size hint the
+	// SizeAware selector reads, and the frag.* counters.
+	maxMsg         int
+	frags          *frag.Reassembler
+	nextMsgID      atomic.Uint64
+	selSize        atomic.Int64
+	cFragMsgs      *metrics.Counter // frag.messages.sent
+	cFragTx        *metrics.Counter // frag.fragments.sent
+	cFragRx        *metrics.Counter // frag.fragments.recv
+	cFragAssembled *metrics.Counter // frag.assembled
+	cFragExpired   *metrics.Counter // frag.expired
+	cFragDup       *metrics.Counter // frag.duplicates
+	cFragDropped   *metrics.Counter // frag.dropped (invalid or over-budget)
 
 	// The dispatch fast path resolves endpoints and handlers through
 	// copy-on-write tables: readers load the current map with one atomic
@@ -196,6 +222,11 @@ type moduleState struct {
 	frames   *metrics.Counter
 	pollErrs *metrics.Counter
 
+	// maxMsg is the largest frame the module's connections accept (from
+	// transport.SizeLimiter; wire.MaxFrameLen when unlimited). Resolved once
+	// at enableMethod so the send fast path compares against a plain int.
+	maxMsg int
+
 	// lat holds the method's per-stage latency histograms; allocated at
 	// enableMethod so hot paths can record through a never-nil pointer.
 	lat *obsv.StageSet
@@ -251,6 +282,21 @@ func NewContext(opts Options) (*Context, error) {
 	c.cRSRFailover = c.stats.Counter("rsr.failover")
 	c.cDropUnkEP = c.stats.Counter("rsr.dropped.unknown_endpoint")
 	c.cDropUnkH = c.stats.Counter("rsr.dropped.unknown_handler")
+	c.maxMsg = opts.MaxMessageSize
+	if c.maxMsg <= 0 {
+		c.maxMsg = frag.DefaultMaxMessage
+	}
+	if c.maxMsg > wire.MaxPayload {
+		c.maxMsg = wire.MaxPayload
+	}
+	c.frags = frag.New(opts.Frag.toFragConfig(c.maxMsg))
+	c.cFragMsgs = c.stats.Counter("frag.messages.sent")
+	c.cFragTx = c.stats.Counter("frag.fragments.sent")
+	c.cFragRx = c.stats.Counter("frag.fragments.recv")
+	c.cFragAssembled = c.stats.Counter("frag.assembled")
+	c.cFragExpired = c.stats.Counter("frag.expired")
+	c.cFragDup = c.stats.Counter("frag.duplicates")
+	c.cFragDropped = c.stats.Counter("frag.dropped")
 	if opts.Threaded {
 		c.dispatcher = newDispatcher(c, opts.Dispatch)
 	}
@@ -304,6 +350,12 @@ func (c *Context) enableMethod(reg *transport.Registry, mc MethodConfig) error {
 		frames:   c.stats.Counter("frames." + mc.Name),
 		pollErrs: c.stats.Counter("poll.errors." + mc.Name),
 		lat:      &obsv.StageSet{},
+		maxMsg:   wire.MaxFrameLen,
+	}
+	if sl, ok := mod.(transport.SizeLimiter); ok {
+		if n := sl.MaxMessage(); n > 0 && n < ms.maxMsg {
+			ms.maxMsg = n
+		}
 	}
 	ms.skipAtomic.Store(int64(mc.SkipPoll))
 	desc, err := mod.Init(transport.Env{
@@ -501,6 +553,14 @@ func (c *Context) dispatch(ms *moduleState, frame []byte) {
 			Handler:  f.Handler,
 			Dur:      det,
 		})
+	}
+	if f.HasFrag() {
+		// A fragment of a bulk message: buffer it; the completing fragment
+		// re-enters the delivery path with the reassembled payload. The
+		// poll-stage trace event above already fired per fragment, so a
+		// single trace ID spans the whole bulk transfer.
+		c.handleFragment(ms, &f)
+		return
 	}
 	if c.dispatcher != nil {
 		c.dispatcher.enqueue(ms, f.DestEndpoint, frame)

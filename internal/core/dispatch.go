@@ -115,6 +115,15 @@ func newDispatcher(c *Context, cfg DispatchConfig) *dispatcher {
 func (d *dispatcher) enqueue(ms *moduleState, destEP uint64, frame []byte) {
 	buf := bufpool.Get(len(frame))
 	copy(buf, frame)
+	d.enqueueOwned(ms, destEP, buf)
+}
+
+// enqueueOwned is enqueue for a frame already in pooled storage the caller
+// gives up: ownership transfers to the dispatcher, which returns the buffer
+// to the pool after delivery (or on shutdown). Reassembled bulk messages use
+// it so a multi-megabyte payload is not copied a second time on the way to
+// its lane.
+func (d *dispatcher) enqueueOwned(ms *moduleState, destEP uint64, buf []byte) {
 	it := laneItem{buf: buf, ms: ms}
 	if d.ctx.obs.mode.Load()&obsStats != 0 {
 		it.enq = time.Now().UnixNano()

@@ -30,12 +30,15 @@ func (sp *Startpoint) maxFailoverAttempts(tableLen int) int {
 // spent. The failed send's failure has already been reported and its shared
 // connection invalidated. tid attributes replacement dials to the RSR being
 // recovered. Caller holds sp.mu.
-func (sp *Startpoint) failoverTarget(t *target, enc []byte, firstErr error, tid obsv.TraceID) error {
+func (sp *Startpoint) failoverTarget(t *target, enc []byte, handler string, flags byte, off int, firstErr error, tid obsv.TraceID) error {
 	owner := sp.owner
 	table, err := sp.tableFor(t)
 	if err != nil {
 		return err
 	}
+	// Re-selection runs below: publish the recovering message's payload size
+	// so size-aware policies pick a replacement method that suits it.
+	owner.selSize.Store(int64(len(enc) - off))
 	lastErr := firstErr
 	budget := sp.maxFailoverAttempts(table.Len())
 	for attempt := 0; attempt < budget; attempt++ {
@@ -57,7 +60,11 @@ func (sp *Startpoint) failoverTarget(t *target, enc []byte, firstErr error, tid 
 			continue
 		}
 		owner.health.cRedials.Inc()
-		if err := t.conn.conn.Send(enc); err != nil {
+		// Size-aware resend: the replacement method may have a smaller frame
+		// limit than the one that failed, in which case the message
+		// re-fragments here under a fresh message id (the receiver expires
+		// the failed attempt's partial — see sendToTargetLocked).
+		if err := sp.sendToTargetLocked(t, enc, handler, flags, off, tid); err != nil {
 			lastErr = err
 			owner.health.reportFailure(t.method, t.context, err)
 			owner.invalidateConn(t.conn)

@@ -105,6 +105,14 @@ func (c *Context) pollPassLocked() int {
 		ms.consecPollErrs = 0
 		total += n
 	}
+	// Sweep abandoned partial bulk messages. With nothing buffered — the
+	// steady state — this is one atomic load and, crucially, no time.Now():
+	// the clock read costs more than the whole empty poll pass otherwise.
+	if c.frags.Partials() > 0 {
+		if n := c.frags.Expire(time.Now()); n > 0 {
+			c.cFragExpired.Add(uint64(n))
+		}
+	}
 	return total
 }
 
@@ -333,6 +341,10 @@ type MethodInfo struct {
 	Frames uint64
 	// PollCostHint is the module's advertised per-poll cost (0 if unknown).
 	PollCostHint time.Duration
+	// MaxMessage is the largest encoded frame the method accepts in one send
+	// (transport.SizeLimiter; 0 means unlimited). RSRs whose frame exceeds
+	// it still go through — as fragments, reassembled at the receiver.
+	MaxMessage int
 	// ObservedPollCost is the mean measured poll latency from the
 	// observability histograms (0 until stats are enabled and the method
 	// has enough samples). When non-zero it is what selection and the
@@ -366,6 +378,9 @@ func (c *Context) Methods() []MethodInfo {
 		}
 		if h, ok := ms.module.(transport.CostHinter); ok {
 			mi.PollCostHint = h.PollCostHint()
+		}
+		if sl, ok := ms.module.(transport.SizeLimiter); ok {
+			mi.MaxMessage = sl.MaxMessage()
 		}
 		if c.obs.mode.Load()&obsStats != 0 {
 			if h := ms.lat.Stage(obsv.StagePoll); h.Count() >= minObservedPolls {

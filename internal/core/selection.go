@@ -112,6 +112,55 @@ func FastestObserved(c *Context, table *transport.Table) (transport.Descriptor, 
 	return FirstApplicable(c, table)
 }
 
+// SizeAware returns a selector that routes by message size: an RSR whose
+// encoded payload is at most threshold bytes selects through small (where
+// latency matters), a larger one through bulk (where bandwidth does). The
+// size examined is the payload of the send that triggered selection — the
+// context publishes it just before running the policy. For bulk messages the
+// bulk selector first sees the table restricted to applicable methods whose
+// frame limit carries the message in one frame; only when no method qualifies
+// does it see the full table, where the fragmentation path covers any size.
+// (The restriction compares payload bytes against the frame limit, ignoring
+// the header's few dozen bytes, so a borderline message may still fragment —
+// into two frames, harmlessly.) Nil selectors default to FirstApplicable.
+// Manual pins (SetMethod) bypass selection entirely and are honored as usual.
+func SizeAware(threshold int, small, bulk Selector) Selector {
+	if small == nil {
+		small = FirstApplicable
+	}
+	if bulk == nil {
+		bulk = FirstApplicable
+	}
+	return func(c *Context, table *transport.Table) (transport.Descriptor, error) {
+		size := int(c.selSize.Load())
+		if size <= threshold {
+			return small(c, table)
+		}
+		c.mu.RLock()
+		var native []transport.Descriptor
+		for _, d := range table.Entries {
+			ms, ok := c.byMethod[d.Method]
+			if !ok || !ms.module.Applicable(d) {
+				continue
+			}
+			limit := ms.maxMsg
+			if dm := d.MaxMessage(); dm > 0 && dm < limit {
+				limit = dm
+			}
+			if limit >= size {
+				native = append(native, d)
+			}
+		}
+		c.mu.RUnlock()
+		if len(native) > 0 {
+			if d, err := bulk(c, &transport.Table{Entries: native}); err == nil {
+				return d, nil
+			}
+		}
+		return bulk(c, table)
+	}
+}
+
 func methodNamesLocked(c *Context) []string {
 	names := make([]string, 0, len(c.modules))
 	for _, ms := range c.modules {

@@ -59,6 +59,9 @@ type sendLink struct {
 	// lat caches the method's stage histograms so the instrumented send
 	// path records without a map lookup (nil until the link is bound).
 	lat *obsv.StageSet
+	// maxMsg is the largest encoded frame the bound method accepts in one
+	// Send; larger frames take the fragmentation path (bulk.go).
+	maxMsg int
 	// selErr carries a selection failure deferred to send time (failover
 	// mode): the link gets its frame via the failover loop instead.
 	selErr error
@@ -73,6 +76,11 @@ type target struct {
 	method   string
 	conn     *sharedConn
 	lat      *obsv.StageSet // the bound method's stage histograms
+	// maxMsg is the bound method's frame-size limit: the module's
+	// SizeLimiter bound intersected with the descriptor's max_message
+	// attribute (the remote side may accept less than the method could
+	// carry). Frames above it are fragmented (bulk.go).
+	maxMsg int
 
 	// healthGen is the health-registry generation the current method was
 	// selected under; when the registry moves (a circuit trips or heals)
@@ -323,6 +331,14 @@ func (sp *Startpoint) bindTarget(t *target, method string, desc transport.Descri
 	t.conn = sc
 	t.method = method
 	t.lat = sp.owner.stageSetFor(method)
+	limit := wire.MaxFrameLen
+	if ms := sp.owner.moduleFor(method); ms != nil && ms.maxMsg < limit {
+		limit = ms.maxMsg
+	}
+	if dm := desc.MaxMessage(); dm > 0 && dm < limit {
+		limit = dm
+	}
+	t.maxMsg = limit
 	t.reportUp.Store(true)
 	return nil
 }
@@ -365,24 +381,31 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 		tid = owner.newTraceID()
 		flags = wire.FlagTrace
 	}
+	payloadLen := 1 // lone format tag for a nil buffer
+	if b != nil {
+		payloadLen = b.EncodedLen()
+	}
+	if payloadLen > owner.maxMsg {
+		return fmt.Errorf("core: RSR payload of %d bytes exceeds the context's %d-byte message cap: %w",
+			payloadLen, owner.maxMsg, transport.ErrTooLarge)
+	}
 	snap := sp.snap.Load()
 	if snap == nil || !snap.ready ||
 		snap.gen != owner.health.Gen() || owner.health.probeDue() {
+		// Selection may run inside prepare: publish the payload size first so
+		// size-aware policies see the message they are selecting for.
+		owner.selSize.Store(int64(payloadLen))
 		var err error
 		if snap, err = sp.prepare(tid); err != nil {
 			return err
 		}
-	}
-	payloadLen := 1 // lone format tag for a nil buffer
-	if b != nil {
-		payloadLen = b.EncodedLen()
 	}
 	off := wire.HeaderLenExt(len(handler), flags)
 	enc := bufpool.Get(off + payloadLen)
 	defer bufpool.Put(enc)
 	wire.EncodeHeaderExt(enc, wire.TypeRSR, flags,
 		uint64(snap.links[0].context), snap.links[0].endpoint, uint64(owner.id),
-		[16]byte(tid), handler, payloadLen)
+		wire.Ext{Trace: [16]byte(tid)}, handler, payloadLen)
 	if b != nil {
 		b.EncodeTo(enc[off:])
 	} else {
@@ -398,7 +421,7 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 			if l.selErr == nil {
 				continue
 			}
-			if err, fatal := sp.recoverSend(l, enc, l.selErr, tid); err != nil {
+			if err, fatal := sp.recoverSend(l, enc, handler, flags, off, l.selErr, tid); err != nil {
 				if fatal {
 					return err
 				}
@@ -413,8 +436,18 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 		if mode&obsStats != 0 {
 			t0 = time.Now()
 		}
-		if err := l.conn.conn.Send(enc); err != nil {
-			if rerr, fatal := sp.recoverSend(l, enc, err, tid); rerr != nil {
+		var serr error
+		if l.maxMsg > 0 && len(enc) > l.maxMsg {
+			// The frame exceeds this link's method limit: it travels as
+			// fragments, reassembled at the receiving context (bulk.go). The
+			// split is per link, so the other links of a multicast startpoint
+			// still get the single encoded frame if their method carries it.
+			serr = sp.fragmentTo(l.conn.conn, l.maxMsg, l.context, l.endpoint, flags, tid, handler, enc[off:])
+		} else {
+			serr = l.conn.conn.Send(enc)
+		}
+		if serr != nil {
+			if rerr, fatal := sp.recoverSend(l, enc, handler, flags, off, serr, tid); rerr != nil {
 				if fatal {
 					return rerr
 				}
@@ -506,6 +539,7 @@ func (sp *Startpoint) publishLocked() *sendSnapshot {
 			method:   t.method,
 			conn:     t.conn,
 			lat:      t.lat,
+			maxMsg:   t.maxMsg,
 			selErr:   t.selErr,
 		}
 		if t.conn == nil || t.selErr != nil {
@@ -527,7 +561,7 @@ func (sp *Startpoint) publishLocked() *sendSnapshot {
 // poisoned shared conn invalidated, and with failover enabled the
 // reselect/redial/resend loop runs. fatal=true keeps non-failover semantics:
 // the first real send error aborts the whole RSR.
-func (sp *Startpoint) recoverSend(l *sendLink, enc []byte, cause error, tid obsv.TraceID) (err error, fatal bool) {
+func (sp *Startpoint) recoverSend(l *sendLink, enc []byte, handler string, flags byte, off int, cause error, tid obsv.TraceID) (err error, fatal bool) {
 	owner := sp.owner
 	sp.mu.Lock()
 	defer func() {
@@ -536,8 +570,9 @@ func (sp *Startpoint) recoverSend(l *sendLink, enc []byte, cause error, tid obsv
 	}()
 	t := l.t
 	if t.conn != nil && t.conn != l.conn {
-		// Stale snapshot: retry once on the current binding.
-		serr := t.conn.conn.Send(enc)
+		// Stale snapshot: retry once on the current binding (size-aware — the
+		// fresh binding may have a different frame limit than the stale one).
+		serr := sp.sendToTargetLocked(t, enc, handler, flags, off, tid)
 		if serr == nil {
 			if t.reportUp.CompareAndSwap(true, false) {
 				owner.health.reportSuccess(t.method, t.context)
@@ -558,7 +593,7 @@ func (sp *Startpoint) recoverSend(l *sendLink, enc []byte, cause error, tid obsv
 		}
 		return fmt.Errorf("core: RSR via %s to context %d: %w", method, t.context, cause), true
 	}
-	if ferr := sp.failoverTarget(t, enc, cause, tid); ferr != nil {
+	if ferr := sp.failoverTarget(t, enc, handler, flags, off, cause, tid); ferr != nil {
 		return fmt.Errorf("core: RSR to context %d: %w", t.context, ferr), false
 	}
 	return nil, false

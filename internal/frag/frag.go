@@ -1,0 +1,306 @@
+// Package frag reassembles fragmented bulk messages.
+//
+// A payload too large for the selected communication method travels as a
+// sequence of wire fragments (wire.FlagFrag): every fragment carries the
+// message id shared by the whole logical message plus its index and the
+// fragment count. The Reassembler collects fragments per (source context,
+// message id), tolerating out-of-order arrival and suppressing duplicates,
+// and returns the concatenated payload once every index is present.
+//
+// Buffering unacknowledged partial messages is a memory liability on a
+// receiver that cannot trust its peers, so the reassembler enforces three
+// budgets: a per-message size cap (MaxMessage), a per-source-context byte
+// budget across all of that peer's partial messages (PerPeerBudget), and a
+// cap on concurrently open partial messages per peer (MaxPartials, with
+// oldest-first eviction so a sender's retry is never wedged behind its own
+// abandoned attempt). Partial messages whose sender went quiet are garbage
+// collected after a TTL; the polling loop drives expiry, and the fast path
+// for "nothing buffered / nothing due" is two atomic loads.
+package frag
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nexus/internal/bufpool"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultMaxMessage caps one reassembled message at 16 MiB.
+	DefaultMaxMessage = 16 << 20
+	// DefaultTTL is how long a partial message may wait for its missing
+	// fragments before being dropped.
+	DefaultTTL = 10 * time.Second
+	// DefaultMaxFragments caps the fragment count of one message. It bounds
+	// the index-table allocation a single fragment can force; senders check
+	// the same constant so a conforming sender never exceeds it.
+	DefaultMaxFragments = 4096
+	// DefaultMaxPartials caps concurrently open partial messages per peer.
+	DefaultMaxPartials = 64
+)
+
+// Config tunes a Reassembler. Zero fields select the defaults above;
+// PerPeerBudget defaults to twice MaxMessage.
+type Config struct {
+	// MaxMessage is the largest reassembled payload accepted, in bytes.
+	MaxMessage int
+	// PerPeerBudget caps the bytes buffered across all partial messages from
+	// one source context.
+	PerPeerBudget int
+	// TTL is how long a partial message waits for missing fragments,
+	// measured from its first fragment.
+	TTL time.Duration
+	// MaxFragments caps one message's fragment count.
+	MaxFragments int
+	// MaxPartials caps concurrently open partial messages per peer; opening
+	// one more evicts the peer's oldest.
+	MaxPartials int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxMessage <= 0 {
+		c.MaxMessage = DefaultMaxMessage
+	}
+	if c.PerPeerBudget <= 0 {
+		c.PerPeerBudget = 2 * c.MaxMessage
+	}
+	if c.TTL <= 0 {
+		c.TTL = DefaultTTL
+	}
+	if c.MaxFragments <= 0 {
+		c.MaxFragments = DefaultMaxFragments
+	}
+	if c.MaxPartials <= 0 {
+		c.MaxPartials = DefaultMaxPartials
+	}
+	return c
+}
+
+// AddResult classifies what Add did with a fragment.
+type AddResult int
+
+const (
+	// Stored: the fragment was buffered; the message is still incomplete.
+	Stored AddResult = iota
+	// Complete: the fragment completed its message; Add returned the payload.
+	Complete
+	// Duplicate: a fragment with this index was already buffered; dropped.
+	Duplicate
+	// Invalid: the fragment is self-contradictory (zero or oversized total,
+	// index out of range, empty chunk, or a total disagreeing with earlier
+	// fragments of the same message); the fragment is dropped, any existing
+	// partial state is kept.
+	Invalid
+	// OverBudget: accepting the fragment would exceed the per-peer byte
+	// budget; the whole partial message was dropped.
+	OverBudget
+	// TooLarge: the accumulated message would exceed MaxMessage; the whole
+	// partial message was dropped.
+	TooLarge
+)
+
+func (r AddResult) String() string {
+	switch r {
+	case Stored:
+		return "stored"
+	case Complete:
+		return "complete"
+	case Duplicate:
+		return "duplicate"
+	case Invalid:
+		return "invalid"
+	case OverBudget:
+		return "overbudget"
+	case TooLarge:
+		return "toolarge"
+	}
+	return "unknown"
+}
+
+// key identifies one logical message: ids are only unique per sender.
+type key struct {
+	src uint64
+	msg uint64
+}
+
+// message is one partial message's buffered state.
+type message struct {
+	chunks   [][]byte // index → chunk (pooled storage), nil = missing
+	got      int
+	bytes    int
+	deadline time.Time
+}
+
+// Reassembler collects fragments into whole payloads.
+type Reassembler struct {
+	cfg Config
+
+	mu        sync.Mutex
+	msgs      map[key]*message
+	peerBytes map[uint64]int
+	peerMsgs  map[uint64]int
+
+	// partials mirrors len(msgs) and earliest the soonest deadline (unix
+	// nanoseconds, MaxInt64 when idle) so Expire's nothing-to-do fast path —
+	// the common case, run on every poll pass — takes no lock.
+	partials atomic.Int64
+	earliest atomic.Int64
+}
+
+// New returns a reassembler with the given budgets.
+func New(cfg Config) *Reassembler {
+	r := &Reassembler{
+		cfg:       cfg.withDefaults(),
+		msgs:      make(map[key]*message),
+		peerBytes: make(map[uint64]int),
+		peerMsgs:  make(map[uint64]int),
+	}
+	r.earliest.Store(math.MaxInt64)
+	return r
+}
+
+// Config reports the effective (default-filled) configuration.
+func (r *Reassembler) Config() Config { return r.cfg }
+
+// Add buffers one fragment of message msgID from source context src. chunk
+// is borrowed: Add copies what it keeps. On Complete the returned payload is
+// pooled storage owned by the caller (hand it back with bufpool.Put when
+// done). evicted counts partial messages dropped to make room under the
+// per-peer partials cap — they are gone for good, exactly as if they had
+// expired.
+func (r *Reassembler) Add(src, msgID uint64, index, total uint32, chunk []byte, now time.Time) (payload []byte, res AddResult, evicted int) {
+	if total == 0 || index >= total || int(total) > r.cfg.MaxFragments || len(chunk) == 0 {
+		return nil, Invalid, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key{src: src, msg: msgID}
+	m := r.msgs[k]
+	if m == nil {
+		for r.peerMsgs[src] >= r.cfg.MaxPartials {
+			r.evictOldestLocked(src)
+			evicted++
+		}
+		m = &message{
+			chunks:   make([][]byte, total),
+			deadline: now.Add(r.cfg.TTL),
+		}
+		r.msgs[k] = m
+		r.peerMsgs[src]++
+		r.partials.Add(1)
+		if dl := m.deadline.UnixNano(); dl < r.earliest.Load() {
+			r.earliest.Store(dl)
+		}
+	} else if len(m.chunks) != int(total) {
+		return nil, Invalid, evicted
+	}
+	if m.chunks[index] != nil {
+		return nil, Duplicate, evicted
+	}
+	if m.bytes+len(chunk) > r.cfg.MaxMessage {
+		r.dropLocked(k, m)
+		return nil, TooLarge, evicted
+	}
+	if r.peerBytes[src]+len(chunk) > r.cfg.PerPeerBudget {
+		r.dropLocked(k, m)
+		return nil, OverBudget, evicted
+	}
+	cp := bufpool.Get(len(chunk))
+	copy(cp, chunk)
+	m.chunks[index] = cp
+	m.got++
+	m.bytes += len(chunk)
+	r.peerBytes[src] += len(chunk)
+	if m.got < int(total) {
+		return nil, Stored, evicted
+	}
+	out := bufpool.Get(m.bytes)
+	n := 0
+	for _, c := range m.chunks {
+		n += copy(out[n:], c)
+	}
+	r.dropLocked(k, m)
+	return out, Complete, evicted
+}
+
+// dropLocked releases one partial message's storage and accounting.
+func (r *Reassembler) dropLocked(k key, m *message) {
+	for i, c := range m.chunks {
+		if c != nil {
+			bufpool.Put(c)
+			m.chunks[i] = nil
+		}
+	}
+	r.peerBytes[k.src] -= m.bytes
+	if r.peerBytes[k.src] <= 0 {
+		delete(r.peerBytes, k.src)
+	}
+	if r.peerMsgs[k.src]--; r.peerMsgs[k.src] <= 0 {
+		delete(r.peerMsgs, k.src)
+	}
+	delete(r.msgs, k)
+	r.partials.Add(-1)
+}
+
+// evictOldestLocked drops the peer's partial message with the soonest
+// deadline (i.e. the oldest, since TTL is constant).
+func (r *Reassembler) evictOldestLocked(src uint64) {
+	var (
+		oldestK key
+		oldestM *message
+	)
+	for k, m := range r.msgs {
+		if k.src != src {
+			continue
+		}
+		if oldestM == nil || m.deadline.Before(oldestM.deadline) {
+			oldestK, oldestM = k, m
+		}
+	}
+	if oldestM != nil {
+		r.dropLocked(oldestK, oldestM)
+	}
+}
+
+// Expire drops every partial message whose deadline has passed and returns
+// how many were dropped. With nothing buffered, or nothing due yet, it is
+// two atomic loads and no lock — cheap enough for every poll pass.
+func (r *Reassembler) Expire(now time.Time) int {
+	if r.partials.Load() == 0 {
+		return 0
+	}
+	if now.UnixNano() < r.earliest.Load() {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dropped := 0
+	next := int64(math.MaxInt64)
+	for k, m := range r.msgs {
+		if !m.deadline.After(now) {
+			r.dropLocked(k, m)
+			dropped++
+		} else if dl := m.deadline.UnixNano(); dl < next {
+			next = dl
+		}
+	}
+	r.earliest.Store(next)
+	return dropped
+}
+
+// Partials reports the number of partial messages currently buffered.
+func (r *Reassembler) Partials() int { return int(r.partials.Load()) }
+
+// BufferedBytes reports the total payload bytes currently buffered.
+func (r *Reassembler) BufferedBytes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, b := range r.peerBytes {
+		n += b
+	}
+	return n
+}

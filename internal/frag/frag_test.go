@@ -1,0 +1,171 @@
+package frag
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1000, 0)
+
+// splitInto cuts payload into n roughly equal chunks.
+func splitInto(payload []byte, n int) [][]byte {
+	chunks := make([][]byte, n)
+	size := (len(payload) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := i * size
+		hi := min(lo+size, len(payload))
+		chunks[i] = payload[lo:hi]
+	}
+	return chunks
+}
+
+func TestReassembleInOrder(t *testing.T) {
+	r := New(Config{})
+	payload := bytes.Repeat([]byte("abcdefg"), 100)
+	chunks := splitInto(payload, 4)
+	for i := 0; i < 3; i++ {
+		got, res, _ := r.Add(1, 42, uint32(i), 4, chunks[i], t0)
+		if res != Stored || got != nil {
+			t.Fatalf("fragment %d: res=%v payload=%v, want Stored", i, res, got != nil)
+		}
+	}
+	got, res, _ := r.Add(1, 42, 3, 4, chunks[3], t0)
+	if res != Complete {
+		t.Fatalf("last fragment: res=%v, want Complete", res)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("reassembled payload differs: %d bytes vs %d", len(got), len(payload))
+	}
+	if r.Partials() != 0 || r.BufferedBytes() != 0 {
+		t.Errorf("state not released after completion: partials=%d bytes=%d", r.Partials(), r.BufferedBytes())
+	}
+}
+
+func TestReassembleOutOfOrderAndDuplicates(t *testing.T) {
+	r := New(Config{})
+	payload := []byte("0123456789abcdef")
+	chunks := splitInto(payload, 4)
+	order := []uint32{2, 0, 3}
+	for _, i := range order {
+		if _, res, _ := r.Add(9, 7, i, 4, chunks[i], t0); res != Stored {
+			t.Fatalf("fragment %d: res=%v, want Stored", i, res)
+		}
+	}
+	if _, res, _ := r.Add(9, 7, 2, 4, chunks[2], t0); res != Duplicate {
+		t.Fatalf("repeated fragment: res=%v, want Duplicate", res)
+	}
+	got, res, _ := r.Add(9, 7, 1, 4, chunks[1], t0)
+	if res != Complete || !bytes.Equal(got, payload) {
+		t.Fatalf("out-of-order completion failed: res=%v got=%q", res, got)
+	}
+}
+
+func TestInvalidFragments(t *testing.T) {
+	r := New(Config{MaxFragments: 8})
+	cases := []struct {
+		name         string
+		index, total uint32
+		chunk        []byte
+	}{
+		{"zero total", 0, 0, []byte("x")},
+		{"index out of range", 5, 5, []byte("x")},
+		{"too many fragments", 0, 9, []byte("x")},
+		{"empty chunk", 0, 2, nil},
+	}
+	for _, c := range cases {
+		if _, res, _ := r.Add(1, 1, c.index, c.total, c.chunk, t0); res != Invalid {
+			t.Errorf("%s: res=%v, want Invalid", c.name, res)
+		}
+	}
+	// A total disagreeing with earlier fragments of the same message.
+	if _, res, _ := r.Add(1, 2, 0, 3, []byte("x"), t0); res != Stored {
+		t.Fatalf("setup fragment: res=%v", res)
+	}
+	if _, res, _ := r.Add(1, 2, 1, 4, []byte("y"), t0); res != Invalid {
+		t.Errorf("total mismatch: res=%v, want Invalid", res)
+	}
+	if r.Partials() != 1 {
+		t.Errorf("mismatch dropped existing partial: partials=%d, want 1", r.Partials())
+	}
+}
+
+func TestPerMessageSizeCap(t *testing.T) {
+	r := New(Config{MaxMessage: 10})
+	if _, res, _ := r.Add(1, 1, 0, 2, bytes.Repeat([]byte{1}, 8), t0); res != Stored {
+		t.Fatalf("first chunk: res=%v", res)
+	}
+	if _, res, _ := r.Add(1, 1, 1, 2, bytes.Repeat([]byte{2}, 8), t0); res != TooLarge {
+		t.Fatalf("overflowing chunk: res=%v, want TooLarge", res)
+	}
+	if r.Partials() != 0 {
+		t.Errorf("oversized message not dropped whole: partials=%d", r.Partials())
+	}
+}
+
+func TestPerPeerBudget(t *testing.T) {
+	r := New(Config{MaxMessage: 100, PerPeerBudget: 150})
+	if _, res, _ := r.Add(1, 1, 0, 2, bytes.Repeat([]byte{1}, 90), t0); res != Stored {
+		t.Fatalf("msg 1: res=%v", res)
+	}
+	// A second partial from the same peer pushes past the budget...
+	if _, res, _ := r.Add(1, 2, 0, 2, bytes.Repeat([]byte{2}, 90), t0); res != OverBudget {
+		t.Fatalf("msg 2 over budget: res=%v, want OverBudget", res)
+	}
+	// ...but another peer has its own budget.
+	if _, res, _ := r.Add(2, 3, 0, 2, bytes.Repeat([]byte{3}, 90), t0); res != Stored {
+		t.Fatalf("other peer: res=%v, want Stored", res)
+	}
+}
+
+func TestMaxPartialsEvictsOldest(t *testing.T) {
+	r := New(Config{MaxPartials: 2})
+	r.Add(1, 1, 0, 2, []byte("old"), t0)
+	r.Add(1, 2, 0, 2, []byte("mid"), t0.Add(time.Second))
+	_, res, evicted := r.Add(1, 3, 0, 2, []byte("new"), t0.Add(2*time.Second))
+	if res != Stored || evicted != 1 {
+		t.Fatalf("third partial: res=%v evicted=%d, want Stored/1", res, evicted)
+	}
+	// Message 1 (the oldest) is gone: completing it now restarts it instead.
+	if _, res, _ := r.Add(1, 1, 1, 2, []byte("tail"), t0.Add(2*time.Second)); res != Stored {
+		t.Errorf("evicted message's fragment: res=%v, want Stored (fresh partial)", res)
+	}
+}
+
+func TestExpire(t *testing.T) {
+	r := New(Config{TTL: time.Second})
+	r.Add(1, 1, 0, 2, []byte("a"), t0)
+	r.Add(2, 2, 0, 2, []byte("b"), t0.Add(500*time.Millisecond))
+	if n := r.Expire(t0.Add(900 * time.Millisecond)); n != 0 {
+		t.Fatalf("early expire dropped %d", n)
+	}
+	if n := r.Expire(t0.Add(1100 * time.Millisecond)); n != 1 {
+		t.Fatalf("first expire dropped %d, want 1", n)
+	}
+	if n := r.Expire(t0.Add(2 * time.Second)); n != 1 {
+		t.Fatalf("second expire dropped %d, want 1", n)
+	}
+	if r.Partials() != 0 {
+		t.Errorf("partials=%d after full expiry", r.Partials())
+	}
+	// Expired state is gone for good: the sender must start over.
+	if _, res, _ := r.Add(1, 1, 1, 2, []byte("late"), t0.Add(3*time.Second)); res != Stored {
+		t.Errorf("fragment after expiry: res=%v, want Stored (fresh partial)", res)
+	}
+}
+
+func TestChunkIsCopied(t *testing.T) {
+	r := New(Config{})
+	chunk := []byte("mutated-after-add")
+	r.Add(1, 1, 0, 2, chunk, t0)
+	for i := range chunk {
+		chunk[i] = 0
+	}
+	got, res, _ := r.Add(1, 1, 1, 2, []byte("!"), t0)
+	if res != Complete {
+		t.Fatalf("res=%v", res)
+	}
+	if !bytes.Equal(got[:17], []byte("mutated-after-add")) {
+		t.Errorf("reassembler aliased the caller's chunk: %q", got)
+	}
+}

@@ -78,6 +78,11 @@ type Config struct {
 	TimeScale float64
 	// PollBatch bounds frames delivered per Poll (default 32).
 	PollBatch int
+	// MaxMessage caps the frame size Send accepts (0 = unlimited). Real
+	// mid-90s fabrics had MTUs; setting one makes the simulated method
+	// size-limited exactly like udp/rudp, which is how fragmentation and
+	// size-aware selection are exercised deterministically in tests.
+	MaxMessage int
 }
 
 func (c Config) withParams(p transport.Params) Config {
@@ -86,6 +91,7 @@ func (c Config) withParams(p transport.Params) Config {
 	c.PollCost = p.Duration("poll_cost", c.PollCost)
 	c.TimeScale = p.Float("time_scale", c.TimeScale)
 	c.PollBatch = p.Int("poll_batch", c.PollBatch)
+	c.MaxMessage = p.Int("max_message", c.MaxMessage)
 	return c
 }
 
@@ -261,21 +267,28 @@ func (m *Module) Init(env transport.Env) (*transport.Descriptor, error) {
 	m.env = env
 	m.box = box
 	m.inited = true
+	attrs := map[string]string{
+		"fabric":    m.fabric.name,
+		"process":   env.Process,
+		"partition": env.Partition,
+		// addr names the physical mailbox frames are sent to. It is
+		// normally the context itself, but forwarding setups rewrite it
+		// to a forwarder's mailbox while Context keeps naming the final
+		// destination.
+		"addr": strconv.FormatUint(uint64(env.Context), 10),
+	}
+	if m.cfg.MaxMessage > 0 {
+		attrs[transport.AttrMaxMessage] = strconv.Itoa(m.cfg.MaxMessage)
+	}
 	return &transport.Descriptor{
 		Method:  m.cfg.Method,
 		Context: env.Context,
-		Attrs: map[string]string{
-			"fabric":    m.fabric.name,
-			"process":   env.Process,
-			"partition": env.Partition,
-			// addr names the physical mailbox frames are sent to. It is
-			// normally the context itself, but forwarding setups rewrite it
-			// to a forwarder's mailbox while Context keeps naming the final
-			// destination.
-			"addr": strconv.FormatUint(uint64(env.Context), 10),
-		},
+		Attrs:   attrs,
 	}, nil
 }
+
+// MaxMessage implements transport.SizeLimiter (0 = unlimited).
+func (m *Module) MaxMessage() int { return m.cfg.MaxMessage }
 
 // Applicable applies the method's scope rule: same fabric and process
 // always; same partition additionally for partition-scoped methods.
@@ -392,6 +405,10 @@ type conn struct {
 // probabilistic drop silently discards the frame (Send still succeeds), and
 // injected delay is added to the arrival time unscaled.
 func (c *conn) Send(frame []byte) error {
+	if c.cfg.MaxMessage > 0 && len(frame) > c.cfg.MaxMessage {
+		return fmt.Errorf("simnet(%s): frame of %d bytes exceeds MTU %d: %w",
+			c.cfg.Method, len(frame), c.cfg.MaxMessage, transport.ErrTooLarge)
+	}
 	var extra time.Duration
 	if fs := c.fabric.faults; fs != nil && fs.active.Load() {
 		d, drop, err := fs.apply(c.src, c.dest)

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	mrand "math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -47,8 +48,10 @@ const headerLen = 13
 
 // Errors returned by the rudp module.
 var (
-	// ErrTooLarge reports a frame exceeding the datagram limit.
-	ErrTooLarge = errors.New("rudp: frame exceeds datagram size")
+	// ErrTooLarge reports a frame exceeding the datagram limit. It wraps
+	// transport.ErrTooLarge, the typed oversize error shared by every
+	// size-limited module.
+	ErrTooLarge = fmt.Errorf("rudp: frame exceeds datagram size: %w", transport.ErrTooLarge)
 	// ErrSendTimeout reports a frame that stayed unacknowledged through
 	// every retransmission attempt.
 	ErrSendTimeout = errors.New("rudp: no acknowledgement from peer")
@@ -67,6 +70,7 @@ type Module struct {
 	loss    float64
 	ackLoss float64
 	seed    int64
+	rcvbuf  int
 
 	mu      sync.Mutex
 	env     transport.Env
@@ -99,6 +103,10 @@ type recvStream struct {
 //	loss     — outbound DATA loss probability, for failure injection
 //	ack_loss — outbound ACK loss probability, for failure injection
 //	seed     — RNG seed for deterministic loss (default 1)
+//	rcvbuf   — requested socket receive buffer in bytes (default 4 MiB;
+//	           0 keeps the OS default). Bulk messages arrive as bursts of
+//	           near-datagram-size fragments; a large buffer turns what
+//	           would be drop-and-retransmit churn into a single pass.
 func New(p transport.Params) *Module {
 	if p == nil {
 		p = transport.Params{}
@@ -111,6 +119,7 @@ func New(p transport.Params) *Module {
 		loss:    p.Float("loss", 0),
 		ackLoss: p.Float("ack_loss", 0),
 		seed:    int64(p.Int("seed", 1)),
+		rcvbuf:  p.Int("rcvbuf", 4<<20),
 		streams: make(map[streamKey]*recvStream),
 	}
 }
@@ -133,6 +142,9 @@ func (m *Module) Init(env transport.Env) (*transport.Descriptor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rudp: listen: %w", err)
 	}
+	if m.rcvbuf > 0 {
+		_ = pc.SetReadBuffer(m.rcvbuf) // best effort; kernel caps apply
+	}
 	rd, err := rawpoll.NewReader(pc)
 	if err != nil {
 		pc.Close()
@@ -147,9 +159,15 @@ func (m *Module) Init(env transport.Env) (*transport.Descriptor, error) {
 	return &transport.Descriptor{
 		Method:  Name,
 		Context: env.Context,
-		Attrs:   map[string]string{"addr": pc.LocalAddr().String()},
+		Attrs: map[string]string{
+			"addr":                   pc.LocalAddr().String(),
+			transport.AttrMaxMessage: strconv.Itoa(MaxPayload),
+		},
 	}, nil
 }
+
+// MaxMessage implements transport.SizeLimiter: one frame per DATA datagram.
+func (m *Module) MaxMessage() int { return MaxPayload }
 
 // Applicable reports whether remote advertises an rudp address.
 func (m *Module) Applicable(remote transport.Descriptor) bool {

@@ -19,6 +19,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 
 	"nexus/internal/transport"
@@ -133,6 +134,11 @@ func (m *Module) Init(env transport.Env) (*transport.Descriptor, error) {
 		sd.Attrs = map[string]string{}
 	}
 	sd.Attrs["inner"] = m.innerName
+	// A size-limited inner method advertises its limit; the encryption
+	// envelope eats part of it, so re-advertise the effective bound.
+	if sd.Attrs[transport.AttrMaxMessage] != "" {
+		sd.Attrs[transport.AttrMaxMessage] = strconv.Itoa(m.MaxMessage())
+	}
 	return &sd, nil
 }
 
@@ -164,6 +170,21 @@ func (m *Module) Dial(remote transport.Descriptor) (transport.Conn, error) {
 		return nil, err
 	}
 	return &conn{m: m, inner: c}, nil
+}
+
+// sealOverhead is the bytes seal adds to a frame: 12-byte nonce + GCM tag.
+func (m *Module) sealOverhead() int { return 12 + m.aead.Overhead() }
+
+// MaxMessage implements transport.SizeLimiter: whatever the inner method
+// accepts, minus the encryption envelope (0 — unlimited — if the inner
+// method has no limit).
+func (m *Module) MaxMessage() int {
+	if sl, ok := m.inner.(transport.SizeLimiter); ok {
+		if n := sl.MaxMessage(); n > m.sealOverhead() {
+			return n - m.sealOverhead()
+		}
+	}
+	return 0
 }
 
 // Poll polls the inner method; decryption happens in the sink.
@@ -199,6 +220,14 @@ type conn struct {
 	inner transport.Conn
 }
 
-func (c *conn) Send(frame []byte) error { return c.inner.Send(c.m.seal(frame)) }
+func (c *conn) Send(frame []byte) error {
+	// Reject before encrypting: sealing a frame the inner method will refuse
+	// anyway would burn an AES pass over the whole oversized payload.
+	if limit := c.m.MaxMessage(); limit > 0 && len(frame) > limit {
+		return fmt.Errorf("secure: frame of %d bytes exceeds inner %s limit: %w",
+			len(frame), c.m.innerName, transport.ErrTooLarge)
+	}
+	return c.inner.Send(c.m.seal(frame))
+}
 func (c *conn) Method() string          { return Name }
 func (c *conn) Close() error            { return c.inner.Close() }

@@ -252,6 +252,10 @@ func (m *Module) reap() {
 	m.inbound = kept
 }
 
+// MaxMessage implements transport.SizeLimiter: a stream carries any legal
+// wire frame, so the only bound is the wire format's own.
+func (m *Module) MaxMessage() int { return wire.MaxFrameLen }
+
 // PollCostHint implements transport.CostHinter: a readiness scan costs on the
 // order of a system call per connection, far above an in-memory queue check.
 func (m *Module) PollCostHint() time.Duration { return 100 * time.Microsecond }
@@ -453,6 +457,11 @@ func newOutConn(c net.Conn) *outConn {
 }
 
 func (oc *outConn) Send(frame []byte) error {
+	if len(frame) > wire.MaxFrameLen {
+		// A caller error, not a socket error: the connection stays usable.
+		return fmt.Errorf("tcp: frame of %d bytes exceeds wire.MaxFrameLen: %w",
+			len(frame), transport.ErrTooLarge)
+	}
 	oc.mu.Lock()
 	if oc.err != nil {
 		err := oc.err

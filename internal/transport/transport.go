@@ -18,6 +18,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 )
 
@@ -40,6 +41,25 @@ type Descriptor struct {
 
 // Attr returns the named attribute, or "" if absent.
 func (d Descriptor) Attr(key string) string { return d.Attrs[key] }
+
+// AttrMaxMessage is the descriptor attribute advertising the largest frame
+// the method accepts on this link, in bytes. Size-aware selection reads it to
+// steer bulk sends toward methods that can carry them natively.
+const AttrMaxMessage = "max_message"
+
+// MaxMessage reports the descriptor's advertised frame-size limit in bytes
+// (0 when absent or malformed, meaning "no advertised limit").
+func (d Descriptor) MaxMessage() int {
+	a := d.Attrs[AttrMaxMessage]
+	if a == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(a)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
 
 // Clone returns a deep copy of the descriptor.
 func (d Descriptor) Clone() Descriptor {
@@ -168,6 +188,16 @@ type CostHinter interface {
 	PollCostHint() time.Duration
 }
 
+// SizeLimiter is an optional capability: a module whose connections bound the
+// frame size Conn.Send accepts. MaxMessage reports that bound in bytes; 0
+// means unlimited (beyond the wire format's own cap). The core uses it to
+// decide when a bulk payload must be fragmented, and size-aware selection
+// uses it to prefer methods that can carry a payload natively. A Conn
+// rejecting an oversized frame returns an error matching ErrTooLarge.
+type SizeLimiter interface {
+	MaxMessage() int
+}
+
 // Errors shared by module implementations.
 var (
 	// ErrNotApplicable reports a Dial on a descriptor the module cannot reach.
@@ -176,4 +206,8 @@ var (
 	ErrClosed = errors.New("transport: closed")
 	// ErrNotInitialized reports use of a module before Init.
 	ErrNotInitialized = errors.New("transport: module not initialized")
+	// ErrTooLarge reports a frame exceeding the method's message-size limit.
+	// Method-specific too-large errors wrap it, so callers test any module's
+	// rejection with errors.Is(err, transport.ErrTooLarge).
+	ErrTooLarge = errors.New("transport: frame exceeds method message-size limit")
 )

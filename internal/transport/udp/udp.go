@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -28,18 +29,30 @@ const Name = "udp"
 // bound below the 64 KiB datagram limit).
 const MaxDatagram = 60 << 10
 
-// ErrTooLarge reports a frame that does not fit in a single datagram.
-var ErrTooLarge = errors.New("udp: frame exceeds datagram size")
+// ErrTooLarge reports a frame that does not fit in a single datagram. It
+// wraps transport.ErrTooLarge, the typed oversize error shared by every
+// size-limited module.
+var ErrTooLarge = fmt.Errorf("udp: frame exceeds datagram size: %w", transport.ErrTooLarge)
 
 func init() {
 	transport.Register(Name, func(p transport.Params) transport.Module { return New(p) })
 }
+
+// DefaultRecvBuffer is the socket receive buffer requested at Init. The
+// fragmentation layer above delivers a bulk message as a burst of
+// near-datagram-size frames; the OS default buffer (a couple hundred KiB on
+// Linux) holds only a handful of those, so a poller that is even briefly
+// behind loses most of the burst. Sized to absorb one maximally fragmented
+// 16 MiB-default message window in practice: kernels cap the request at
+// net.core.rmem_max, and the setting is best-effort.
+const DefaultRecvBuffer = 4 << 20
 
 // Module is a UDP communication method instance.
 type Module struct {
 	listen string
 	loss   float64
 	seed   int64
+	rcvbuf int
 
 	mu     sync.Mutex
 	env    transport.Env
@@ -56,6 +69,8 @@ type Module struct {
 //	listen — listen address (default "127.0.0.1:0")
 //	loss   — probability in [0,1] of silently dropping an outbound frame
 //	seed   — RNG seed for deterministic loss injection (default 1)
+//	rcvbuf — requested socket receive buffer in bytes (default 4 MiB;
+//	         0 keeps the OS default)
 func New(p transport.Params) *Module {
 	if p == nil {
 		p = transport.Params{}
@@ -64,6 +79,7 @@ func New(p transport.Params) *Module {
 		listen: p.Str("listen", "127.0.0.1:0"),
 		loss:   p.Float("loss", 0),
 		seed:   int64(p.Int("seed", 1)),
+		rcvbuf: p.Int("rcvbuf", DefaultRecvBuffer),
 	}
 }
 
@@ -85,6 +101,9 @@ func (m *Module) Init(env transport.Env) (*transport.Descriptor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udp: listen: %w", err)
 	}
+	if m.rcvbuf > 0 {
+		_ = pc.SetReadBuffer(m.rcvbuf) // best effort; kernel caps apply
+	}
 	rd, err := rawpoll.NewReader(pc)
 	if err != nil {
 		pc.Close()
@@ -98,9 +117,15 @@ func (m *Module) Init(env transport.Env) (*transport.Descriptor, error) {
 	return &transport.Descriptor{
 		Method:  Name,
 		Context: env.Context,
-		Attrs:   map[string]string{"addr": pc.LocalAddr().String()},
+		Attrs: map[string]string{
+			"addr":                   pc.LocalAddr().String(),
+			transport.AttrMaxMessage: strconv.Itoa(MaxDatagram),
+		},
 	}, nil
 }
+
+// MaxMessage implements transport.SizeLimiter: one frame per datagram.
+func (m *Module) MaxMessage() int { return MaxDatagram }
 
 // Applicable reports whether remote advertises a UDP address.
 func (m *Module) Applicable(remote transport.Descriptor) bool {

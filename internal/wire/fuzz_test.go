@@ -21,6 +21,19 @@ func FuzzDecode(f *testing.F) {
 	badFlags := traced.Encode()
 	badFlags[3] = 0xFF
 	f.Add(badFlags)
+	// Fragment-extension seeds: frag alone, frag alongside trace, and a
+	// corrupted fragment count, steering the fuzzer into the FlagFrag parse
+	// and validation paths.
+	fragged := &Frame{Type: TypeRSR, Flags: FlagFrag,
+		FragID: 0x0102030405060708, FragIndex: 2, FragTotal: 5,
+		Handler: "frag", Payload: []byte{0xCD}}
+	f.Add(fragged.Encode())
+	f.Add((&Frame{Type: TypeRSR, Flags: FlagTrace | FlagFrag,
+		Trace: [16]byte{7}, FragID: 9, FragIndex: 0, FragTotal: 1,
+		Handler: "both", Payload: []byte{1, 2}}).Encode())
+	badFrag := fragged.Encode()
+	badFrag[headerFixed+1+8+4+3] = 0 // FragTotal -> 0
+	f.Add(badFrag)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := Decode(data)
 		if err != nil {

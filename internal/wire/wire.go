@@ -69,6 +69,10 @@ const (
 	// traceExtLen is the size of the trace extension: a 16-byte trace/span id.
 	traceExtLen = 16
 
+	// fragExtLen is the size of the fragment extension: message id (8),
+	// fragment index (4), fragment count (4).
+	fragExtLen = 8 + 4 + 4
+
 	// MaxFrameLen is the largest encoded frame any version can produce:
 	// extended fixed header, maximal handler name, every extension, payload
 	// length prefix, and maximal payload. Stream and datagram transports use
@@ -76,7 +80,7 @@ const (
 	// (MaxPayload plus a hand-picked slack) undercounted the header and
 	// could kill a connection carrying a legal frame with a maximal handler
 	// name.
-	MaxFrameLen = headerFixed + 1 + traceExtLen + MaxHandlerLen + 4 + MaxPayload
+	MaxFrameLen = headerFixed + 1 + traceExtLen + fragExtLen + MaxHandlerLen + 4 + MaxPayload
 )
 
 // Header extension flags (versionExt frames only).
@@ -85,10 +89,18 @@ const (
 	// header, before the handler name.
 	FlagTrace = byte(1 << 0)
 
+	// FlagFrag marks a fragment of a larger logical RSR: the extension
+	// carries the 8-byte message id shared by all fragments plus this
+	// fragment's index and the fragment count. It follows the trace
+	// extension (extensions appear in flag-bit order) and precedes the
+	// handler name. The payload is one contiguous chunk of the logical
+	// payload; the receiving context reassembles chunks in index order.
+	FlagFrag = byte(1 << 1)
+
 	// knownFlags is the set of flags this decoder understands. Unknown flags
 	// change the header length, so a frame carrying any is undecodable and
 	// rejected rather than misparsed.
-	knownFlags = FlagTrace
+	knownFlags = FlagTrace | FlagFrag
 )
 
 // Errors returned by frame decoding.
@@ -98,6 +110,7 @@ var (
 	ErrBadVersion = errors.New("wire: unsupported version")
 	ErrOversize   = errors.New("wire: frame exceeds size limits")
 	ErrBadFlags   = errors.New("wire: unknown or empty header flags")
+	ErrBadFrag    = errors.New("wire: invalid fragment extension")
 )
 
 // Frame is a decoded message frame.
@@ -118,6 +131,14 @@ type Frame struct {
 	// Trace is the 16-byte trace/span id carried by the FlagTrace extension
 	// (all zero when the flag is absent).
 	Trace [16]byte
+	// FragID identifies the logical message a FlagFrag fragment belongs to;
+	// all fragments of one message share it (0 when the flag is absent).
+	FragID uint64
+	// FragIndex is this fragment's position in [0, FragTotal).
+	FragIndex uint32
+	// FragTotal is the number of fragments in the logical message (≥ 1 when
+	// FlagFrag is set).
+	FragTotal uint32
 	// Handler names the remote handler to invoke.
 	Handler string
 	// Payload is the encoded argument buffer (see internal/buffer).
@@ -126,6 +147,9 @@ type Frame struct {
 
 // HasTrace reports whether the frame carries the trace extension.
 func (f *Frame) HasTrace() bool { return f.Flags&FlagTrace != 0 }
+
+// HasFrag reports whether the frame is a fragment of a larger message.
+func (f *Frame) HasFrag() bool { return f.Flags&FlagFrag != 0 }
 
 // extLen reports the total length of the extensions selected by flags,
 // including the flags byte itself (0 for a v1 frame with no flags).
@@ -136,6 +160,9 @@ func extLen(flags byte) int {
 	n := 1 // the flags byte
 	if flags&FlagTrace != 0 {
 		n += traceExtLen
+	}
+	if flags&FlagFrag != 0 {
+		n += fragExtLen
 	}
 	return n
 }
@@ -179,12 +206,23 @@ func EncodeHeader(dst []byte, typ byte, destCtx, destEP, srcCtx uint64, handler 
 	return n + 4
 }
 
+// Ext carries the values of the header extensions selected by a frame's
+// flags byte. Fields for absent extensions are ignored by the encoder.
+type Ext struct {
+	// Trace fills the FlagTrace extension.
+	Trace [16]byte
+	// FragID, FragIndex, and FragTotal fill the FlagFrag extension.
+	FragID    uint64
+	FragIndex uint32
+	FragTotal uint32
+}
+
 // EncodeHeaderExt is EncodeHeader for a frame carrying header extensions:
-// flags selects the extensions, trace fills the FlagTrace one. dst must have
+// flags selects the extensions, ext supplies their values. dst must have
 // length at least HeaderLenExt(len(handler), flags). With flags == 0 it
 // produces exactly the v1 bytes EncodeHeader would, so callers can route
 // every send through it and pay the extension cost only when one is present.
-func EncodeHeaderExt(dst []byte, typ, flags byte, destCtx, destEP, srcCtx uint64, trace [16]byte, handler string, payloadLen int) int {
+func EncodeHeaderExt(dst []byte, typ, flags byte, destCtx, destEP, srcCtx uint64, ext Ext, handler string, payloadLen int) int {
 	if flags == 0 {
 		return EncodeHeader(dst, typ, destCtx, destEP, srcCtx, handler, payloadLen)
 	}
@@ -198,7 +236,13 @@ func EncodeHeaderExt(dst []byte, typ, flags byte, destCtx, destEP, srcCtx uint64
 	binary.BigEndian.PutUint16(dst[28:], uint16(len(handler)))
 	n := headerFixed + 1
 	if flags&FlagTrace != 0 {
-		n += copy(dst[n:], trace[:])
+		n += copy(dst[n:], ext.Trace[:])
+	}
+	if flags&FlagFrag != 0 {
+		binary.BigEndian.PutUint64(dst[n:], ext.FragID)
+		binary.BigEndian.PutUint32(dst[n+8:], ext.FragIndex)
+		binary.BigEndian.PutUint32(dst[n+12:], ext.FragTotal)
+		n += fragExtLen
 	}
 	n += copy(dst[n:], handler)
 	binary.BigEndian.PutUint32(dst[n:], uint32(payloadLen))
@@ -234,7 +278,8 @@ func (f *Frame) Encode() []byte {
 // encodes as wire version 1; any flag selects the extended header.
 func (f *Frame) EncodeTo(dst []byte) int {
 	n := EncodeHeaderExt(dst, f.Type, f.Flags,
-		f.DestContext, f.DestEndpoint, f.SrcContext, f.Trace,
+		f.DestContext, f.DestEndpoint, f.SrcContext,
+		Ext{Trace: f.Trace, FragID: f.FragID, FragIndex: f.FragIndex, FragTotal: f.FragTotal},
 		f.Handler, len(f.Payload))
 	n += copy(dst[n:], f.Payload)
 	return n
@@ -269,6 +314,7 @@ func DecodeInto(f *Frame, p []byte) error {
 		// encoders decode here byte-for-byte as they always did.
 		f.Flags = 0
 		f.Trace = [16]byte{}
+		f.FragID, f.FragIndex, f.FragTotal = 0, 0, 0
 		f.Type = p[2]
 		f.DestContext = binary.BigEndian.Uint64(p[3:])
 		f.DestEndpoint = binary.BigEndian.Uint64(p[11:])
@@ -301,6 +347,23 @@ func DecodeInto(f *Frame, p []byte) error {
 			n += traceExtLen
 		} else {
 			f.Trace = [16]byte{}
+		}
+		if flags&FlagFrag != 0 {
+			if len(p) < n+fragExtLen+4 {
+				return ErrShortFrame
+			}
+			f.FragID = binary.BigEndian.Uint64(p[n:])
+			f.FragIndex = binary.BigEndian.Uint32(p[n+8:])
+			f.FragTotal = binary.BigEndian.Uint32(p[n+12:])
+			// A zero fragment count or an index beyond it can only come from
+			// a corrupt or hostile encoder; reject rather than hand the
+			// reassembler an impossible fragment.
+			if f.FragTotal == 0 || f.FragIndex >= f.FragTotal {
+				return ErrBadFrag
+			}
+			n += fragExtLen
+		} else {
+			f.FragID, f.FragIndex, f.FragTotal = 0, 0, 0
 		}
 	default:
 		return ErrBadVersion

@@ -93,6 +93,9 @@ type (
 	DispatchConfig = core.DispatchConfig
 	// DispatchPolicy selects what a full dispatch lane does with a frame.
 	DispatchPolicy = core.DispatchPolicy
+	// FragConfig tunes the receive-side bulk-message reassembler
+	// (Options.Frag): partial-message TTL and buffering budgets.
+	FragConfig = core.FragConfig
 	// ObserveConfig configures a context's observability subsystem
 	// (latency histograms, RSR tracing) at construction.
 	ObserveConfig = core.ObserveConfig
@@ -180,6 +183,10 @@ var (
 	FastestObserved core.Selector = core.FastestObserved
 	// PreferOrder builds a programmer-directed selection policy.
 	PreferOrder = core.PreferOrder
+	// SizeAware builds a selection policy that routes small RSRs through one
+	// selector and bulk RSRs through another, preferring methods that carry
+	// the message in a single frame.
+	SizeAware = core.SizeAware
 	// HealthAware wraps a selector so it skips methods whose circuit is
 	// open in the sending context's health registry.
 	HealthAware = core.HealthAware
@@ -197,6 +204,10 @@ var (
 	ErrUnknownHandler     = core.ErrUnknownHandler
 	ErrUnknownEndpoint    = core.ErrUnknownEndpoint
 	ErrUnknownMethod      = core.ErrUnknownMethod
+	// ErrTooLarge matches (errors.Is) every size-limit rejection: an RSR
+	// payload over Options.MaxMessageSize, or a frame over the selected
+	// method's limit on a direct transport send.
+	ErrTooLarge = transport.ErrTooLarge
 )
 
 // Typed message buffers (internal/buffer).
