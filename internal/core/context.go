@@ -23,6 +23,7 @@ import (
 	"nexus/internal/frag"
 	"nexus/internal/metrics"
 	"nexus/internal/obsv"
+	"nexus/internal/reactor"
 	"nexus/internal/transport"
 	"nexus/internal/wire"
 )
@@ -118,6 +119,13 @@ type Options struct {
 	// Frag tunes the receive-side fragment reassembler (buffering budgets,
 	// stale-partial TTL). The zero value selects defaults.
 	Frag FragConfig
+	// DisableReactor keeps every module on the portable polling path even
+	// where the platform offers a readiness reactor (Linux epoll). By
+	// default, modules implementing transport.Reactive register their
+	// sockets with a context-wide reactor and are polled only when the
+	// kernel reports inbound data — an idle poll pass then costs zero
+	// syscalls for those methods.
+	DisableReactor bool
 }
 
 var nextContextID atomic.Uint64
@@ -181,6 +189,15 @@ type Context struct {
 	// branch is the entire cost.
 	obs obsvState
 
+	// rx is the readiness reactor (nil off-Linux, when DisableReactor is
+	// set, or when construction failed); ready is the bitmap its waiter
+	// goroutine sets — bit i belongs to the i-th reactive module — and the
+	// polling loop consumes with one atomic swap per pass. nextReadyBit is
+	// guarded by mu.
+	rx           *reactor.Reactor
+	ready        atomic.Uint64
+	nextReadyBit int
+
 	mu         sync.RWMutex
 	modules    []*moduleState
 	byMethod   map[string]*moduleState
@@ -200,6 +217,25 @@ type moduleState struct {
 	module   transport.Module
 	desc     *transport.Descriptor
 	blocking bool
+
+	// reactive marks a module on readiness-driven detection; readyBit is its
+	// bit in the context's readiness bitmap. Both are set before the module
+	// joins c.modules and never change afterwards.
+	reactive bool
+	readyBit uint64
+	// hot is the remaining grace passes during which a reactive module is
+	// probed directly instead of waiting for a kernel readiness edge. Reset
+	// to reactiveHotPasses whenever a poll shows activity; decays by one on
+	// each empty probe. While hot, rd suspends the module's kernel watch so
+	// arriving data does not wake the reactor waiter the poller has already
+	// replaced. Guarded by the context's pollMu.
+	hot int
+	// cold counts consecutive passes skipped while reactive with no edge;
+	// every reactiveColdProbe-th pass probes the module anyway, bounding the
+	// latency of a starved waiter-thread notification. Guarded by pollMu.
+	cold int
+	// rd is the module's readiness adapter (nil unless reactive).
+	rd *moduleReadiness
 
 	// skip and countdown implement skip_poll; both are guarded by the
 	// context's pollMu except for reads through the atomic skipAtomic.
@@ -312,6 +348,8 @@ func NewContext(opts Options) (*Context, error) {
 		c.errlog = func(error) { dropped.Inc() }
 	}
 
+	c.rx = newReactor(opts)
+
 	configs := opts.Methods
 	if !hasMethod(configs, "local") {
 		configs = append([]MethodConfig{{Name: "local"}}, configs...)
@@ -381,6 +419,9 @@ func (c *Context) enableMethod(reg *transport.Registry, mc MethodConfig) error {
 		}
 		ms.blocking = true
 	}
+	// Offer the reactor (no-op without one, or when the module declines);
+	// before registration, so ms.reactive is published with the module.
+	c.attachReactive(ms)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -662,6 +703,11 @@ func (c *Context) Close() error {
 		if err := ms.module.Close(); err != nil {
 			errs = append(errs, err.Error())
 		}
+	}
+	if c.rx != nil {
+		// After module Close: each module removes its fds from the reactor
+		// before closing its sockets, which requires the reactor alive.
+		c.rx.Close()
 	}
 	if c.dispatcher != nil {
 		// Lane workers exit on their next receive; frames still queued are

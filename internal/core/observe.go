@@ -36,6 +36,11 @@ const (
 // adaptive tuning.
 const minObservedPolls = 16
 
+// reactivePollCost is the per-pass cost attributed to a reactor-backed
+// method: one bit test in the readiness bitmap (the syscalls happen only when
+// data is actually pending, and belong to delivery, not detection).
+const reactivePollCost = 200 * time.Nanosecond
+
 // ObserveConfig configures a context's observability at construction.
 // Everything can also be toggled at runtime (EnableStats, EnableTracing,
 // DisableObservability).
@@ -161,6 +166,15 @@ func (c *Context) stageSetFor(method string) *obsv.StageSet {
 // skip_poll tuner rank methods by what polling actually costs on this host,
 // not by the module author's guess.
 func (c *Context) pollCostEstimate(ms *moduleState) time.Duration {
+	if ms.reactive {
+		// A reactor-backed method's idle pass is one bitmap test — no
+		// syscalls. Its poll-stage histogram records only the passes that
+		// had data to drain, which would wildly overstate what detection
+		// costs; report the near-zero idle cost instead, so selection and
+		// the skip_poll tuners treat the method as essentially free to keep
+		// in the rotation.
+		return reactivePollCost
+	}
 	if c.obs.mode.Load()&obsStats != 0 && ms.lat != nil {
 		h := ms.lat.Stage(obsv.StagePoll)
 		if h.Count() >= minObservedPolls {

@@ -36,6 +36,29 @@ func (c *Context) tryPoll() int {
 	return c.pollPassLocked()
 }
 
+// reactiveHotPasses is the direct-probe grace window for reactive modules: a
+// module that just saw a readiness edge or delivered frames is mid-transfer,
+// so the next passes probe it without waiting for another edge. The window
+// must outlast the passes a spinning caller burns during one round trip of
+// the traffic pattern it is protecting — a ping-pong peer spins through
+// hundreds of sub-microsecond passes while its 30 µs reply is in flight, and
+// if the window closes first, every round pays the cross-thread epoll
+// notification instead (milliseconds when pollers monopolize a busy CPU).
+// The cost of oversizing is only a bounded tail of cheap empty probes after
+// traffic stops.
+const reactiveHotPasses = 4096
+
+// reactiveColdProbe bounds notification latency for a cold module: even with
+// no readiness edge it is probed directly on every reactiveColdProbe-th
+// pass. The epoll waiter goroutine needs the scheduler's cooperation to turn
+// a kernel event into a ready bit; when spinning pollers keep the CPU busy,
+// that handoff can take milliseconds. The periodic probe caps the damage at
+// reactiveColdProbe fast passes (microseconds) while costing an idle context
+// only 1/reactiveColdProbe of a probe per pass — and when passes are slow
+// (sleeping caller), the CPU is idle and the waiter's bit arrives first
+// anyway.
+const reactiveColdProbe = 256
+
 func (c *Context) pollPassLocked() int {
 	c.mu.RLock()
 	mods := c.modules
@@ -47,12 +70,45 @@ func (c *Context) pollPassLocked() int {
 	c.pollPass++
 	c.cPollPasses.Inc()
 	statsOn := c.obs.mode.Load()&obsStats != 0
+	// Claim this pass's readiness edges in one atomic swap. Bits must be
+	// cleared BEFORE the modules drain: data arriving during a drain re-sets
+	// the bit and forces another pass, so no edge is ever consumed unseen.
+	var ready uint64
+	if c.rx != nil {
+		ready = c.ready.Swap(0)
+	}
 	total := 0
 	for _, ms := range mods {
 		if ms.blocking {
 			continue
 		}
-		if ms.pollDisabled {
+		edge := false
+		if ms.reactive {
+			// Readiness-driven: the kernel says whether this module has
+			// inbound data. No bit, no syscall — skip_poll countdowns don't
+			// apply (readiness is a strictly better version of the same
+			// economy). A module with a recent edge stays "hot" and is
+			// probed directly for a grace window: during a transfer the
+			// direct probe finds data the instant it lands, where waiting for
+			// the epoll waiter's cross-thread notification would add
+			// scheduling latency to every window round trip.
+			edge = ready&ms.readyBit != 0
+			if !edge && ms.hot == 0 {
+				if ms.cold++; ms.cold < reactiveColdProbe {
+					continue
+				}
+				ms.cold = 0 // periodic safety probe: fall through
+			}
+			if ms.pollDisabled && !c.health.allowed(ms.name, receivePeer) {
+				if edge {
+					// Keep the claimed edge for whenever the probe is
+					// granted: dropping it here would strand buffered data
+					// forever.
+					atomicOr(&c.ready, ms.readyBit)
+				}
+				continue
+			}
+		} else if ms.pollDisabled {
 			// The module's receive path tripped its circuit. Poll it again
 			// only when the health registry grants a half-open probe.
 			if !c.health.allowed(ms.name, receivePeer) {
@@ -81,6 +137,12 @@ func (c *Context) pollPassLocked() int {
 		}
 		if err != nil {
 			ms.pollErrs.Inc()
+			if ms.reactive {
+				// The edge was claimed but the drain failed; data may remain
+				// buffered, so the module must be re-polled without waiting
+				// for a fresh kernel event that will never come.
+				atomicOr(&c.ready, ms.readyBit)
+			}
 			c.errlog(fmt.Errorf("core: context %d: polling %s: %w", c.id, ms.name, err))
 			if ms.pollDisabled {
 				// Failed probe: push the circuit back to open with a longer
@@ -103,6 +165,25 @@ func (c *Context) pollPassLocked() int {
 			c.health.reportSuccess(ms.name, receivePeer)
 		}
 		ms.consecPollErrs = 0
+		if ms.reactive {
+			// An edge counts as activity even when no complete frame came
+			// out of the drain: a large frame streaming in arrives as many
+			// edges that each deliver nothing until the last one. Entering
+			// the hot window suspends the module's kernel watch (the direct
+			// probes replace it); the window decaying to zero restores it.
+			if n > 0 || edge {
+				if ms.hot == 0 {
+					ms.rd.suspend()
+				}
+				ms.hot = reactiveHotPasses
+				ms.cold = 0
+			} else if ms.hot > 0 {
+				ms.hot--
+				if ms.hot == 0 {
+					ms.rd.resume()
+				}
+			}
+		}
 		total += n
 	}
 	// Sweep abandoned partial bulk messages. With nothing buffered — the
@@ -335,6 +416,10 @@ type MethodInfo struct {
 	Pinned bool
 	// Blocking reports whether the method uses blocking detection.
 	Blocking bool
+	// Reactive reports whether the method is on readiness-driven detection:
+	// its sockets are watched by the context's reactor and the polling loop
+	// touches it only when the kernel reports inbound data.
+	Reactive bool
 	// Polls is the number of module polls performed so far.
 	Polls uint64
 	// Frames is the number of inbound frames the method has delivered.
@@ -369,6 +454,7 @@ func (c *Context) Methods() []MethodInfo {
 			SkipPoll: ms.skip,
 			Pinned:   ms.pinned,
 			Blocking: ms.blocking,
+			Reactive: ms.reactive,
 			Polls:    ms.polls.Load(),
 			Frames:   ms.frames.Load(),
 		}

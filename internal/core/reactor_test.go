@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nexus/internal/buffer"
+	"nexus/internal/reactor"
+
+	_ "nexus/internal/transport/rudp"
+	_ "nexus/internal/transport/udp"
+)
+
+// TestReactorActivation checks the default-on/opt-out matrix: where the
+// platform has a reactor, socket-backed methods come up reactive and
+// DisableReactor forces them back to polling; off-Linux everything is
+// poll-based and the same options still construct fine.
+func TestReactorActivation(t *testing.T) {
+	ctx, err := NewContext(Options{
+		Methods: []MethodConfig{{Name: "tcp"}, {Name: "udp"}, {Name: "rudp"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	if ctx.ReactorActive() != reactor.Supported() {
+		t.Fatalf("ReactorActive() = %v, Supported() = %v", ctx.ReactorActive(), reactor.Supported())
+	}
+	for _, mi := range ctx.Methods() {
+		switch mi.Name {
+		case "tcp", "udp", "rudp":
+			if mi.Reactive != reactor.Supported() {
+				t.Errorf("method %s Reactive = %v, want %v", mi.Name, mi.Reactive, reactor.Supported())
+			}
+		case "local":
+			if mi.Reactive {
+				t.Errorf("memory-backed method %s reported reactive", mi.Name)
+			}
+		}
+	}
+
+	off, err := NewContext(Options{
+		Methods:        []MethodConfig{{Name: "tcp"}, {Name: "udp"}},
+		DisableReactor: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	if off.ReactorActive() {
+		t.Fatal("ReactorActive() with DisableReactor set")
+	}
+	for _, mi := range off.Methods() {
+		if mi.Reactive {
+			t.Errorf("method %s reactive despite DisableReactor", mi.Name)
+		}
+	}
+}
+
+// TestReactorIdlePassesSkipReactiveModules is the economy the reactor exists
+// for: once the seed drain has run, idle poll passes must not touch a
+// reactive module at all (its poll counter stays put while the pass counter
+// climbs).
+func TestReactorIdlePassesSkipReactiveModules(t *testing.T) {
+	ctx, err := NewContext(Options{
+		Methods: []MethodConfig{{Name: "udp"}, {Name: "tcp"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	if !ctx.ReactorActive() {
+		t.Skip("no reactor on this platform")
+	}
+	// Consume the post-attach seed bit, then let the hot grace window the
+	// seed edge armed decay to zero.
+	for i := 0; i <= reactiveHotPasses; i++ {
+		ctx.Poll()
+	}
+	before := map[string]uint64{}
+	for _, mi := range ctx.Methods() {
+		before[mi.Name] = mi.Polls
+	}
+	const passes = 200
+	for i := 0; i < passes; i++ {
+		ctx.Poll()
+	}
+	for _, mi := range ctx.Methods() {
+		switch mi.Name {
+		case "udp", "tcp":
+			if got := mi.Polls - before[mi.Name]; got != 0 {
+				t.Errorf("reactive %s polled %d times across %d idle passes, want 0", mi.Name, got, passes)
+			}
+		case "local":
+			if got := mi.Polls - before[mi.Name]; got != passes {
+				t.Errorf("poll-based %s polled %d times across %d passes, want %d", mi.Name, got, passes, passes)
+			}
+		}
+	}
+}
+
+// reactorRoundTrip sends count RSRs from a fresh sender to a fresh receiver
+// over the named method and waits for all of them to arrive.
+func reactorRoundTrip(t *testing.T, method string, disable bool, count int) {
+	t.Helper()
+	recv, err := NewContext(Options{
+		Methods:        []MethodConfig{{Name: method}},
+		DisableReactor: disable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	send, err := NewContext(Options{
+		Methods:        []MethodConfig{{Name: method}},
+		DisableReactor: disable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	var got atomic.Int64
+	ep := recv.NewEndpoint(WithHandler(func(ep *Endpoint, b *buffer.Buffer) {
+		got.Add(1)
+	}))
+	sp := transferStartpoint(t, ep.NewStartpoint(), send, false)
+	// Blocking-window methods (rudp) need the receiver polling while the
+	// sender sits inside RSR — the receiver's polls produce the ACKs.
+	startPolling(t, recv)
+	for i := 0; i < count; i++ {
+		b := buffer.New(32)
+		b.PutInt(i)
+		if err := sp.RSR("", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for got.Load() < int64(count) {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s (disable=%v): delivered %d of %d", method, disable, got.Load(), count)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestReactorRoundTrip exercises delivery through the readiness path (and
+// the portable fallback, as a control) for every reactor-capable method.
+func TestReactorRoundTrip(t *testing.T) {
+	for _, method := range []string{"tcp", "udp", "rudp"} {
+		for _, disable := range []bool{false, true} {
+			name := fmt.Sprintf("%s/disable=%v", method, disable)
+			t.Run(name, func(t *testing.T) {
+				reactorRoundTrip(t, method, disable, 50)
+			})
+		}
+	}
+}
+
+// TestReactorRuntimeEnable checks that a method enabled after construction
+// still joins the reactor.
+func TestReactorRuntimeEnable(t *testing.T) {
+	ctx, err := NewContext(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	if !ctx.ReactorActive() {
+		t.Skip("no reactor on this platform")
+	}
+	if err := ctx.EnableMethod(MethodConfig{Name: "udp"}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, mi := range ctx.Methods() {
+		if mi.Name == "udp" {
+			found = true
+			if !mi.Reactive {
+				t.Error("runtime-enabled udp not reactive")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("udp not listed after EnableMethod")
+	}
+}
+
+// TestReactorDisableMethod checks that disabling a reactive method tears its
+// registrations down cleanly (no panic, remaining methods keep working).
+func TestReactorDisableMethod(t *testing.T) {
+	ctx, err := NewContext(Options{
+		Methods: []MethodConfig{{Name: "udp"}, {Name: "tcp"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	if err := ctx.DisableMethod("udp"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		ctx.Poll()
+	}
+}
+
+// TestReactiveMethodsEnquiry checks the ReactiveMethods listing.
+func TestReactiveMethodsEnquiry(t *testing.T) {
+	ctx, err := NewContext(Options{
+		Methods: []MethodConfig{{Name: "udp"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	names := ctx.ReactiveMethods()
+	if ctx.ReactorActive() {
+		if len(names) != 1 || names[0] != "udp" {
+			t.Fatalf("ReactiveMethods() = %v, want [udp]", names)
+		}
+	} else if len(names) != 0 {
+		t.Fatalf("ReactiveMethods() = %v on platform without reactor", names)
+	}
+}
+
+// TestReactorPollCostEstimate checks that selection sees reactor-backed
+// methods as nearly free, per the collapsed detection cost.
+func TestReactorPollCostEstimate(t *testing.T) {
+	ctx, err := NewContext(Options{
+		Methods: []MethodConfig{{Name: "tcp"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	ms := ctx.moduleFor("tcp")
+	if ms == nil {
+		t.Fatal("no tcp module")
+	}
+	cost := ctx.pollCostEstimate(ms)
+	if ctx.ReactorActive() {
+		if cost != reactivePollCost {
+			t.Fatalf("reactive tcp pollCostEstimate = %v, want %v", cost, reactivePollCost)
+		}
+	} else if cost != 100*time.Microsecond {
+		t.Fatalf("poll-based tcp pollCostEstimate = %v, want its 100µs hint", cost)
+	}
+}
+
+// idlePollContext builds a context whose socket methods have nothing queued,
+// so every pass measures pure detection overhead.
+func idlePollContext(b *testing.B, disable bool) *Context {
+	b.Helper()
+	ctx, err := NewContext(Options{
+		Methods:        []MethodConfig{{Name: "tcp"}, {Name: "udp"}, {Name: "rudp"}},
+		DisableReactor: disable,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ctx.Close() })
+	// Consume the seed bits and decay the hot grace window so the loop
+	// measures the steady idle state.
+	for i := 0; i <= reactiveHotPasses; i++ {
+		ctx.Poll()
+	}
+	return ctx
+}
+
+// BenchmarkPollIdle measures one poll pass over idle socket methods —
+// the cost every spin-waiting context pays continuously. With the reactor,
+// the pass should collapse to the bitmap check plus the memory-backed
+// methods; legacy mode pays a syscall per socket method per pass.
+func BenchmarkPollIdle(b *testing.B) {
+	b.Run("reactor", func(b *testing.B) {
+		if !reactor.Supported() {
+			b.Skip("no reactor on this platform")
+		}
+		ctx := idlePollContext(b, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Poll()
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		ctx := idlePollContext(b, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Poll()
+		}
+	})
+}
+
+// BenchmarkPollIdleSocketOnly isolates the per-socket-method cost: local is
+// present (always enabled) but inproc-style memory methods are not, so the
+// delta between modes is the socket detection cost alone.
+func BenchmarkPollIdleSocketOnly(b *testing.B) {
+	for _, n := range []int{1, 3} {
+		for _, mode := range []string{"reactor", "legacy"} {
+			b.Run(fmt.Sprintf("%s/methods=%d", mode, n), func(b *testing.B) {
+				if mode == "reactor" && !reactor.Supported() {
+					b.Skip("no reactor on this platform")
+				}
+				all := []MethodConfig{{Name: "udp"}, {Name: "tcp"}, {Name: "rudp"}}
+				ctx, err := NewContext(Options{
+					Methods:        all[:n],
+					DisableReactor: mode == "legacy",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { ctx.Close() })
+				for i := 0; i <= reactiveHotPasses; i++ {
+					ctx.Poll()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ctx.Poll()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBulkBandwidthModes is BenchmarkBulkBandwidth with the reactor
+// toggled explicitly, for isolating readiness-path effects on goodput.
+func BenchmarkBulkBandwidthModes(b *testing.B) {
+	payload := bulkPayload(1 << 20)
+	for _, method := range []string{"tcp", "rudp"} {
+		for _, mode := range []string{"reactor", "legacy"} {
+			b.Run(method+"/"+mode, func(b *testing.B) {
+				opts := Options{Methods: []MethodConfig{{Name: method}}, DisableReactor: mode == "legacy"}
+				recv, err := NewContext(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { recv.Close() })
+				send, err := NewContext(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { send.Close() })
+				sink := &bulkSink{want: payload}
+				ep := recv.NewEndpoint(WithHandler(sink.handler))
+				sp := transferStartpoint(b, ep.NewStartpoint(), send, false)
+				startPolling(b, recv)
+				b.SetBytes(1 << 20)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					buf := buffer.New(len(payload) + 8)
+					buf.PutBytes(payload)
+					if err := sp.RSR("", buf); err != nil {
+						b.Fatal(err)
+					}
+					want := int64(i + 1)
+					if !recv.PollUntil(func() bool { return sink.good.Load() >= want }, 30*time.Second) {
+						b.Fatalf("delivery %d timed out", want)
+					}
+				}
+			})
+		}
+	}
+}

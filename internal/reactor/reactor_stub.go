@@ -1,0 +1,26 @@
+//go:build !linux
+
+package reactor
+
+// Reactor is unavailable on this platform; every module stays on the
+// portable Poll fallback. The type exists so callers can hold a *Reactor
+// field without build tags of their own.
+type Reactor struct{}
+
+// Supported reports whether this platform can run a reactor.
+func Supported() bool { return false }
+
+// New always fails on this platform.
+func New() (*Reactor, error) { return nil, ErrUnsupported }
+
+// Add always fails on this platform.
+func (r *Reactor) Add(fd int, notify func()) error { return ErrUnsupported }
+
+// Remove is a no-op on this platform.
+func (r *Reactor) Remove(fd int) {}
+
+// Watched reports 0 on this platform.
+func (r *Reactor) Watched() int { return 0 }
+
+// Close is a no-op on this platform.
+func (r *Reactor) Close() {}

@@ -1,0 +1,207 @@
+package reactor
+
+import (
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// udpFd returns a bound UDP socket and its fd.
+func udpFd(t *testing.T) (*net.UDPConn, int) {
+	t.Helper()
+	pc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	rc, err := pc.SyscallConn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := -1
+	if err := rc.Control(func(f uintptr) { fd = int(f) }); err != nil {
+		t.Fatal(err)
+	}
+	return pc, fd
+}
+
+func TestSupportedMatchesPlatform(t *testing.T) {
+	if want := runtime.GOOS == "linux"; Supported() != want {
+		t.Fatalf("Supported() = %v on %s", Supported(), runtime.GOOS)
+	}
+}
+
+func TestUnsupportedPlatformStub(t *testing.T) {
+	if Supported() {
+		t.Skip("stub only exists off-Linux")
+	}
+	if _, err := New(); err != ErrUnsupported {
+		t.Fatalf("New() error = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestNotifyOnReadable(t *testing.T) {
+	if !Supported() {
+		t.Skip("no reactor on this platform")
+	}
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	pc, fd := udpFd(t)
+	fired := make(chan struct{}, 16)
+	if err := r.Add(fd, func() { fired <- struct{}{} }); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Watched(); got != 1 {
+		t.Fatalf("Watched() = %d, want 1", got)
+	}
+
+	// Nothing readable yet: no notification.
+	select {
+	case <-fired:
+		t.Fatal("notified before any data arrived")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	sender, err := net.DialUDP("udp", nil, pc.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	if _, err := sender.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no notification for readable socket")
+	}
+
+	// Edge-triggered: with the data left unread, a second datagram still
+	// produces a fresh edge (new data = new event).
+	if _, err := sender.Write([]byte("ping2")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no notification for second datagram")
+	}
+}
+
+func TestAddExistingReadableFiresImmediately(t *testing.T) {
+	if !Supported() {
+		t.Skip("no reactor on this platform")
+	}
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	pc, fd := udpFd(t)
+	sender, err := net.DialUDP("udp", nil, pc.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	if _, err := sender.Write([]byte("early")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the datagram land before Add
+
+	fired := make(chan struct{}, 1)
+	if err := r.Add(fd, func() {
+		select {
+		case fired <- struct{}{}:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// EPOLL_CTL_ADD reports an already-ready fd once even in edge-triggered
+	// mode; modules rely on this to not lose data that raced registration.
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no notification for fd that was readable at Add time")
+	}
+}
+
+func TestRemoveStopsNotifications(t *testing.T) {
+	if !Supported() {
+		t.Skip("no reactor on this platform")
+	}
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	pc, fd := udpFd(t)
+	fired := make(chan struct{}, 16)
+	if err := r.Add(fd, func() { fired <- struct{}{} }); err != nil {
+		t.Fatal(err)
+	}
+	r.Remove(fd)
+	if got := r.Watched(); got != 0 {
+		t.Fatalf("Watched() after Remove = %d, want 0", got)
+	}
+
+	sender, err := net.DialUDP("udp", nil, pc.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	if _, err := sender.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+		t.Fatal("notified after Remove")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestAddBadFd(t *testing.T) {
+	if !Supported() {
+		t.Skip("no reactor on this platform")
+	}
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Add(-1, func() {}); err == nil {
+		t.Fatal("Add(-1) succeeded")
+	}
+	if got := r.Watched(); got != 0 {
+		t.Fatalf("Watched() after failed Add = %d, want 0", got)
+	}
+}
+
+func TestCloseIsIdempotentAndStopsWaiter(t *testing.T) {
+	if !Supported() {
+		t.Skip("no reactor on this platform")
+	}
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fd := udpFd(t)
+	if err := r.Add(fd, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close() // second close must not panic or block
+
+	// Post-close operations are inert.
+	if err := r.Add(fd, func() {}); err == nil {
+		t.Fatal("Add after Close succeeded")
+	}
+	r.Remove(fd)
+}

@@ -1,0 +1,135 @@
+//go:build !linux
+
+package rawpoll
+
+import (
+	"errors"
+	"net"
+	"syscall"
+)
+
+// Portable fallback for the batched datagram API: the same surface as
+// batch_linux.go, implemented as one recvfrom/write(2) per datagram. Modules
+// written against BatchReader/BatchWriter build and run on every platform;
+// only the per-syscall amortization is Linux-specific.
+
+// ErrGSOUnsupported reports SendGSO on a platform without UDP segmentation
+// offload. Unreachable through correct use: ProbeGSO reports false here.
+var ErrGSOUnsupported = errors.New("rawpoll: UDP GSO not supported on this platform")
+
+// BatchReader drains multiple datagrams per Recv call. On this platform each
+// datagram costs one recvfrom(2); the call-level API still lets modules
+// amortize their own per-pass overhead.
+type BatchReader struct {
+	rd    *Reader
+	bufs  [][]byte
+	lens  []int
+	addrs []*net.UDPAddr
+	count int
+}
+
+// NewBatchReader prepares batched non-blocking receives on c with the given
+// number of slots, each able to hold one datagram of up to bufSize bytes.
+func NewBatchReader(c syscall.Conn, slots, bufSize int) (*BatchReader, error) {
+	rd, err := NewReader(c)
+	if err != nil {
+		return nil, err
+	}
+	b := &BatchReader{
+		rd:    rd,
+		bufs:  make([][]byte, slots),
+		lens:  make([]int, slots),
+		addrs: make([]*net.UDPAddr, slots),
+	}
+	for i := range b.bufs {
+		b.bufs[i] = make([]byte, bufSize)
+	}
+	return b, nil
+}
+
+// Slots reports the batch capacity.
+func (b *BatchReader) Slots() int { return len(b.bufs) }
+
+// Recv fills up to Slots() datagrams with non-blocking reads. It returns the
+// number received, or (0, ErrWouldBlock) when the socket has nothing queued.
+func (b *BatchReader) Recv() (int, error) {
+	n := 0
+	for n < len(b.bufs) {
+		m, from, err := b.rd.ReadFrom(b.bufs[n])
+		if err != nil {
+			if errors.Is(err, ErrWouldBlock) {
+				break
+			}
+			if n > 0 {
+				break // surface the error on the next call
+			}
+			return 0, err
+		}
+		b.lens[n] = m
+		b.addrs[n] = from
+		n++
+	}
+	b.count = n
+	if n == 0 {
+		return 0, ErrWouldBlock
+	}
+	return n, nil
+}
+
+// Frame returns slot i's datagram payload from the last Recv. The slice is
+// borrowed: it aliases the slot buffer and is overwritten by the next Recv.
+func (b *BatchReader) Frame(i int) []byte { return b.bufs[i][:b.lens[i]] }
+
+// Addr returns slot i's source address from the last Recv.
+func (b *BatchReader) Addr(i int) *net.UDPAddr { return b.addrs[i] }
+
+// BatchWriter flushes trains of outbound frames on a connected datagram
+// socket. On this platform each frame costs one write(2).
+type BatchWriter struct {
+	rc syscall.RawConn
+}
+
+// NewBatchWriter prepares batched sends on c. slots is accepted for API
+// compatibility; this platform sends one frame per syscall regardless.
+func NewBatchWriter(c syscall.Conn, slots int) (*BatchWriter, error) {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	return &BatchWriter{rc: rc}, nil
+}
+
+// Send transmits frames in order on the connected socket, parking on the
+// runtime poller when the send buffer is full. It returns the number of
+// frames handed to the kernel.
+func (w *BatchWriter) Send(frames [][]byte) (int, error) {
+	sent := 0
+	var serr error
+	err := w.rc.Write(func(fd uintptr) bool {
+		for sent < len(frames) {
+			_, e := syscall.Write(int(fd), frames[sent])
+			switch {
+			case e == syscall.EINTR:
+				continue
+			case e == syscall.EAGAIN || e == syscall.EWOULDBLOCK:
+				return false // park until writable, then resume here
+			case e != nil:
+				serr = e
+				return true
+			default:
+				sent++
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return sent, err
+	}
+	return sent, serr
+}
+
+// ProbeGSO reports false: no UDP segmentation offload on this platform.
+func ProbeGSO(c syscall.Conn) bool { return false }
+
+// SendGSO is unreachable on this platform (ProbeGSO reports false).
+func (w *BatchWriter) SendGSO(data []byte, seg int) error { return ErrGSOUnsupported }

@@ -46,6 +46,17 @@ const (
 // headerLen is type(1) + connID(8) + seq(4).
 const headerLen = 13
 
+// recvSlots is the Poll batch width: datagrams drained per recvmmsg call.
+const recvSlots = 16
+
+// sendSlots is the per-connection batch width: frames per sendmmsg call.
+const sendSlots = 16
+
+// maxPollDatagrams bounds one fallback Poll pass (see udp: a flooding peer
+// must not pin the polling loop inside one module). Reactor-attached modules
+// drain to empty instead, as edge-triggered readiness requires.
+const maxPollDatagrams = 1024
+
 // Errors returned by the rudp module.
 var (
 	// ErrTooLarge reports a frame exceeding the datagram limit. It wraps
@@ -71,17 +82,19 @@ type Module struct {
 	ackLoss float64
 	seed    int64
 	rcvbuf  int
+	sndbuf  int
 
 	mu      sync.Mutex
 	env     transport.Env
 	pc      *net.UDPConn
-	rd      *rawpoll.Reader
+	br      *rawpoll.BatchReader
+	fd      int
+	rdy     transport.Readiness // non-nil while reactor-attached
 	streams map[streamKey]*recvStream
 	inited  bool
 	closed  bool
 
-	scratch []byte
-	rng     *mrand.Rand
+	rng *mrand.Rand
 }
 
 type streamKey struct {
@@ -107,6 +120,10 @@ type recvStream struct {
 //	           0 keeps the OS default). Bulk messages arrive as bursts of
 //	           near-datagram-size fragments; a large buffer turns what
 //	           would be drop-and-retransmit churn into a single pass.
+//	sndbuf   — requested socket send buffer in bytes, applied to outbound
+//	           connections (default 4 MiB; 0 keeps the OS default). A
+//	           sendmmsg window flush wants the same headroom on the way
+//	           out that rcvbuf gives the way in.
 func New(p transport.Params) *Module {
 	if p == nil {
 		p = transport.Params{}
@@ -120,6 +137,7 @@ func New(p transport.Params) *Module {
 		ackLoss: p.Float("ack_loss", 0),
 		seed:    int64(p.Int("seed", 1)),
 		rcvbuf:  p.Int("rcvbuf", 4<<20),
+		sndbuf:  p.Int("sndbuf", 4<<20),
 		streams: make(map[streamKey]*recvStream),
 	}
 }
@@ -145,16 +163,16 @@ func (m *Module) Init(env transport.Env) (*transport.Descriptor, error) {
 	if m.rcvbuf > 0 {
 		_ = pc.SetReadBuffer(m.rcvbuf) // best effort; kernel caps apply
 	}
-	rd, err := rawpoll.NewReader(pc)
+	br, err := rawpoll.NewBatchReader(pc, recvSlots, 64<<10)
 	if err != nil {
 		pc.Close()
-		return nil, fmt.Errorf("rudp: raw reader: %w", err)
+		return nil, fmt.Errorf("rudp: batch reader: %w", err)
 	}
 	m.env = env
 	m.pc = pc
-	m.rd = rd
+	m.br = br
+	m.fd = udpFd(pc)
 	m.inited = true
-	m.scratch = make([]byte, 64<<10)
 	m.rng = mrand.New(mrand.NewSource(m.seed))
 	return &transport.Descriptor{
 		Method:  Name,
@@ -196,14 +214,23 @@ func (m *Module) Dial(remote transport.Descriptor) (transport.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rudp: dial %s: %w", raddr, err)
 	}
+	if m.sndbuf > 0 {
+		_ = sock.SetWriteBuffer(m.sndbuf) // best effort; kernel caps apply
+	}
 	var idBuf [8]byte
 	if _, err := rand.Read(idBuf[:]); err != nil {
 		sock.Close()
 		return nil, fmt.Errorf("rudp: conn id: %w", err)
 	}
+	bw, err := rawpoll.NewBatchWriter(sock, sendSlots)
+	if err != nil {
+		sock.Close()
+		return nil, fmt.Errorf("rudp: batch writer: %w", err)
+	}
 	c := &conn{
 		m:      m,
 		sock:   sock,
+		bw:     bw,
 		connID: binary.BigEndian.Uint64(idBuf[:]),
 		window: m.window,
 		rto:    m.rto,
@@ -220,8 +247,12 @@ func (m *Module) Dial(remote transport.Descriptor) (transport.Conn, error) {
 	return c, nil
 }
 
-// Poll drains the socket: DATA datagrams are delivered in order (with a
-// cumulative ACK returned per datagram); duplicates and gaps are dropped.
+// Poll drains the socket in recvmmsg batches: DATA datagrams are delivered
+// in order, straight from their receive slots (the sink borrows each frame
+// for the call); duplicates and gaps are dropped, and one cumulative ACK per
+// stream is flushed at the end of the pass. The fallback path bounds one
+// pass at maxPollDatagrams; reactor-attached modules drain until the socket
+// reports empty, as edge-triggered readiness requires.
 func (m *Module) Poll() (int, error) {
 	m.mu.Lock()
 	if !m.inited {
@@ -232,50 +263,104 @@ func (m *Module) Poll() (int, error) {
 		m.mu.Unlock()
 		return 0, transport.ErrClosed
 	}
+	br, attached := m.br, m.rdy != nil
 	m.mu.Unlock()
 
 	pendingAcks := make(map[streamKey]ackDue)
-	delivered := 0
+	delivered, seen := 0, 0
 	for {
-		n, from, ok, err := m.readOne()
+		n, err := br.Recv()
+		for i := 0; i < n; i++ {
+			pkt := br.Frame(i)
+			from := br.Addr(i)
+			if len(pkt) < headerLen || pkt[0] != typeData || from == nil {
+				continue // not a data frame for the receiver side
+			}
+			connID := binary.BigEndian.Uint64(pkt[1:])
+			seq := binary.BigEndian.Uint32(pkt[9:])
+			key := streamKey{addr: from.String(), connID: connID}
+			m.mu.Lock()
+			st := m.streams[key]
+			if st == nil {
+				st = &recvStream{}
+				m.streams[key] = st
+			}
+			inOrder := seq == st.expect
+			if inOrder {
+				st.expect++
+			}
+			ackUpTo := st.expect
+			m.mu.Unlock()
+
+			if inOrder {
+				m.env.Sink.Deliver(pkt[headerLen:])
+				delivered++
+			}
+			// Delayed cumulative ACK: one per stream per poll pass,
+			// covering everything below ackUpTo.
+			pendingAcks[key] = ackDue{to: from, connID: connID, ackUpTo: ackUpTo}
+		}
+		seen += n
 		if err != nil {
 			m.flushAcks(pendingAcks)
+			if errors.Is(err, rawpoll.ErrWouldBlock) {
+				return delivered, nil
+			}
+			if m.isClosed() {
+				return delivered, transport.ErrClosed
+			}
 			return delivered, err
 		}
-		if !ok {
-			break
+		if !attached && seen >= maxPollDatagrams {
+			break // bounded pass; the rest waits for the next
 		}
-		if n < headerLen || m.scratch[0] != typeData {
-			continue // not a data frame for the receiver side
-		}
-		connID := binary.BigEndian.Uint64(m.scratch[1:])
-		seq := binary.BigEndian.Uint32(m.scratch[9:])
-		key := streamKey{addr: from.String(), connID: connID}
-		m.mu.Lock()
-		st := m.streams[key]
-		if st == nil {
-			st = &recvStream{}
-			m.streams[key] = st
-		}
-		inOrder := seq == st.expect
-		if inOrder {
-			st.expect++
-		}
-		ackUpTo := st.expect
-		m.mu.Unlock()
-
-		if inOrder {
-			frame := make([]byte, n-headerLen)
-			copy(frame, m.scratch[headerLen:n])
-			m.env.Sink.Deliver(frame)
-			delivered++
-		}
-		// Delayed cumulative ACK: one per stream per poll pass, covering
-		// everything below ackUpTo.
-		pendingAcks[key] = ackDue{to: from, connID: connID, ackUpTo: ackUpTo}
 	}
 	m.flushAcks(pendingAcks)
 	return delivered, nil
+}
+
+// udpFd returns the fd behind a *net.UDPConn (or -1).
+func udpFd(pc *net.UDPConn) int {
+	fd := -1
+	rc, err := pc.SyscallConn()
+	if err != nil {
+		return -1
+	}
+	_ = rc.Control(func(f uintptr) { fd = int(f) })
+	return fd
+}
+
+// AttachReactor implements transport.Reactive: the listen socket joins the
+// reactor's watch set, and Poll calls switch to drain-to-empty semantics.
+// Outbound connections are unaffected: their ACKs arrive on their own
+// connected sockets, consumed by a blocked reader goroutine.
+func (m *Module) AttachReactor(r transport.Readiness) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.inited {
+		return transport.ErrNotInitialized
+	}
+	if m.closed {
+		return transport.ErrClosed
+	}
+	if m.fd < 0 {
+		return transport.ErrNotReactive
+	}
+	if err := r.Add(m.fd); err != nil {
+		return err
+	}
+	m.rdy = r
+	return nil
+}
+
+// DetachReactor implements transport.Reactive.
+func (m *Module) DetachReactor() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.rdy != nil {
+		m.rdy.Remove(m.fd)
+		m.rdy = nil
+	}
 }
 
 // ackDue is a delayed cumulative acknowledgement awaiting flush.
@@ -289,22 +374,6 @@ func (m *Module) flushAcks(acks map[streamKey]ackDue) {
 	for _, a := range acks {
 		m.sendAck(a.to, a.connID, a.ackUpTo)
 	}
-}
-
-// readOne performs one non-blocking datagram read, preserving the source
-// address (needed to address the ACK).
-func (m *Module) readOne() (int, *net.UDPAddr, bool, error) {
-	n, from, err := m.rd.ReadFrom(m.scratch)
-	if err != nil {
-		if errors.Is(err, rawpoll.ErrWouldBlock) {
-			return 0, nil, false, nil
-		}
-		if m.isClosed() {
-			return 0, nil, false, transport.ErrClosed
-		}
-		return 0, nil, false, err
-	}
-	return n, from, true, nil
 }
 
 func (m *Module) isClosed() bool {
@@ -338,6 +407,10 @@ func (m *Module) Close() error {
 		return nil
 	}
 	m.closed = true
+	if m.rdy != nil {
+		m.rdy.Remove(m.fd) // before close: the OS may reuse the fd number
+		m.rdy = nil
+	}
 	if m.pc != nil {
 		return m.pc.Close()
 	}
@@ -348,6 +421,7 @@ func (m *Module) Close() error {
 type conn struct {
 	m      *Module
 	sock   *net.UDPConn
+	bw     *rawpoll.BatchWriter
 	connID uint64
 	window int
 	rto    time.Duration
@@ -407,6 +481,68 @@ func (c *conn) Send(frame []byte) error {
 		}
 	}
 	return nil
+}
+
+// SendBatch implements transport.BatchSender: frames are sequenced into the
+// window in chunks of whatever space is available (blocking, like Send, when
+// the window is full) and each chunk is flushed with one sendmmsg(2) instead
+// of one sendto(2) per frame. Loss injection still decides per frame —
+// dropped frames stay in the retransmission window, exactly as a frame lost
+// on the wire would.
+func (c *conn) SendBatch(frames [][]byte) (int, error) {
+	for i, f := range frames {
+		if len(f) > MaxPayload {
+			return i, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(f))
+		}
+	}
+	sent := 0
+	for sent < len(frames) {
+		c.mu.Lock()
+		for c.dead == nil && !c.closed && c.nextSeq-c.base >= uint32(c.window) {
+			c.cond.Wait()
+		}
+		if c.dead != nil {
+			err := c.dead
+			c.mu.Unlock()
+			return sent, err
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return sent, transport.ErrClosed
+		}
+		avail := c.window - int(c.nextSeq-c.base)
+		k := len(frames) - sent
+		if k > avail {
+			k = avail
+		}
+		if c.pending == nil {
+			c.pending = make(map[uint32][]byte)
+		}
+		wire := make([][]byte, 0, k)
+		for i := 0; i < k; i++ {
+			f := frames[sent+i]
+			pkt := make([]byte, headerLen+len(f))
+			pkt[0] = typeData
+			binary.BigEndian.PutUint64(pkt[1:], c.connID)
+			binary.BigEndian.PutUint32(pkt[9:], c.nextSeq)
+			copy(pkt[headerLen:], f)
+			c.pending[c.nextSeq] = pkt
+			c.nextSeq++
+			if c.rng == nil || c.rng.Float64() >= c.loss {
+				wire = append(wire, pkt)
+			}
+		}
+		c.mu.Unlock()
+		if len(wire) > 0 {
+			if _, err := c.bw.Send(wire); err != nil {
+				// The chunk is already sequenced into the window; a hard
+				// socket error surfaces now rather than via retransmission.
+				return sent, fmt.Errorf("rudp: batch send: %w", err)
+			}
+		}
+		sent += k
+	}
+	return len(frames), nil
 }
 
 // ackReader consumes cumulative ACKs on the connected socket.

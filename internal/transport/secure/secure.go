@@ -190,6 +190,24 @@ func (m *Module) MaxMessage() int {
 // Poll polls the inner method; decryption happens in the sink.
 func (m *Module) Poll() (int, error) { return m.inner.Poll() }
 
+// AttachReactor implements transport.Reactive by delegation: the inner
+// method's sockets carry the ciphertext, so its readiness is this module's
+// readiness. An inner method without pollable fds (e.g. the simulated
+// fabric) reports ErrNotReactive and the module stays poll-based.
+func (m *Module) AttachReactor(r transport.Readiness) error {
+	if ir, ok := m.inner.(transport.Reactive); ok {
+		return ir.AttachReactor(r)
+	}
+	return transport.ErrNotReactive
+}
+
+// DetachReactor implements transport.Reactive by delegation.
+func (m *Module) DetachReactor() {
+	if ir, ok := m.inner.(transport.Reactive); ok {
+		ir.DetachReactor()
+	}
+}
+
 // Close closes the inner method.
 func (m *Module) Close() error { return m.inner.Close() }
 

@@ -51,6 +51,7 @@ type Module struct {
 	ln       net.Listener
 	inbound  []*inConn
 	outbound map[*outConn]struct{}
+	rdy      transport.Readiness // non-nil while reactor-attached
 	inited   bool
 	closed   bool
 	acceptWG sync.WaitGroup
@@ -120,6 +121,12 @@ func (m *Module) acceptLoop(ln net.Listener) {
 			return
 		}
 		m.inbound = append(m.inbound, ic)
+		if m.rdy != nil {
+			// EPOLL_CTL_ADD reports an already-readable fd once even in
+			// edge-triggered mode, so data that raced the registration is
+			// not lost.
+			ic.watch(m.rdy)
+		}
 		blocking, sink := m.blocking, m.env.Sink
 		m.mu.Unlock()
 		if blocking {
@@ -203,7 +210,14 @@ func (m *Module) Dial(remote transport.Descriptor) (transport.Conn, error) {
 }
 
 // Poll performs one readiness scan over all inbound connections, delivering
-// any complete frames. In blocking mode it returns immediately.
+// any complete frames. Each connection is drained until its socket reports
+// "would block" (required once reactor-attached: consumed edges are not
+// re-announced) — with a per-pass read bound on the fallback path so one
+// fire-hosing peer cannot monopolize the polling loop. A connection that
+// consumed bytes without completing a frame — a large frame still streaming
+// in — counts as one unit of activity, so activity-driven pollers keep
+// probing instead of treating the pass as idle. In blocking mode Poll
+// returns immediately.
 func (m *Module) Poll() (int, error) {
 	m.mu.Lock()
 	if !m.inited {
@@ -221,12 +235,16 @@ func (m *Module) Poll() (int, error) {
 	conns := make([]*inConn, len(m.inbound))
 	copy(conns, m.inbound)
 	sink := m.env.Sink
+	drainAll := m.rdy != nil
 	m.mu.Unlock()
 
 	total := 0
 	anyDead := false
 	for _, ic := range conns {
-		n := ic.poll(sink)
+		n, progressed := ic.poll(sink, drainAll)
+		if n == 0 && progressed {
+			n = 1 // mid-frame: bytes consumed, remainder en route
+		}
 		total += n
 		if ic.dead() {
 			anyDead = true
@@ -244,12 +262,52 @@ func (m *Module) reap() {
 	kept := m.inbound[:0]
 	for _, ic := range m.inbound {
 		if ic.dead() {
+			if m.rdy != nil {
+				ic.unwatch(m.rdy) // before close: the OS may reuse the fd
+			}
 			ic.c.Close()
 			continue
 		}
 		kept = append(kept, ic)
 	}
 	m.inbound = kept
+}
+
+// AttachReactor implements transport.Reactive: every inbound connection's fd
+// joins the reactor's watch set (the accept loop keeps the set current), and
+// Poll switches to drain-to-empty semantics. The listener itself needs no
+// registration — accepts happen on a dedicated blocked goroutine. Blocking
+// mode reports ErrNotReactive: detection already costs no polling there.
+func (m *Module) AttachReactor(r transport.Readiness) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.inited {
+		return transport.ErrNotInitialized
+	}
+	if m.closed {
+		return transport.ErrClosed
+	}
+	if m.blocking {
+		return transport.ErrNotReactive
+	}
+	for _, ic := range m.inbound {
+		ic.watch(r)
+	}
+	m.rdy = r
+	return nil
+}
+
+// DetachReactor implements transport.Reactive.
+func (m *Module) DetachReactor() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.rdy == nil {
+		return
+	}
+	for _, ic := range m.inbound {
+		ic.unwatch(m.rdy)
+	}
+	m.rdy = nil
 }
 
 // MaxMessage implements transport.SizeLimiter: a stream carries any legal
@@ -309,11 +367,16 @@ func (m *Module) Close() error {
 		out = append(out, oc)
 	}
 	m.outbound = nil
+	rdy := m.rdy
+	m.rdy = nil
 	m.mu.Unlock()
 	if ln != nil {
 		ln.Close()
 	}
 	for _, ic := range conns {
+		if rdy != nil {
+			ic.unwatch(rdy) // before close: the OS may reuse the fd number
+		}
 		ic.c.Close()
 	}
 	for _, oc := range out {
@@ -333,6 +396,8 @@ type inConn struct {
 	rd      *rawpoll.Reader
 	buf     []byte // accumulated unparsed bytes
 	scratch []byte
+	fd      int
+	watched bool
 	isDead  bool
 }
 
@@ -348,13 +413,55 @@ func (ic *inConn) dead() bool {
 	return ic.isDead
 }
 
-// poll performs one non-blocking read and delivers every complete frame
-// reassembled so far.
-func (ic *inConn) poll(sink transport.Sink) int {
+// watch registers the connection's fd with the reactor (best effort: a
+// connection whose fd cannot be extracted simply stays poll-only).
+func (ic *inConn) watch(r transport.Readiness) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if ic.watched || ic.isDead {
+		return
+	}
+	sc, ok := ic.c.(syscall.Conn)
+	if !ok {
+		return
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return
+	}
+	fd := -1
+	_ = rc.Control(func(f uintptr) { fd = int(f) })
+	if fd < 0 || r.Add(fd) != nil {
+		return
+	}
+	ic.fd = fd
+	ic.watched = true
+}
+
+// unwatch removes the connection's fd from the reactor. Must precede closing
+// the socket.
+func (ic *inConn) unwatch(r transport.Readiness) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if ic.watched {
+		r.Remove(ic.fd)
+		ic.watched = false
+	}
+}
+
+// maxPollReads bounds one fallback poll pass per connection (reads × 64 KiB
+// scratch). Reactor-attached connections ignore the bound and drain until
+// "would block", as edge-triggered readiness requires.
+const maxPollReads = 16
+
+// poll drains the connection — reading and extracting frames until the
+// socket reports empty or, on the fallback path, the per-pass bound is
+// reached — and delivers every complete frame reassembled so far.
+func (ic *inConn) poll(sink transport.Sink, drainAll bool) (int, bool) {
 	ic.mu.Lock()
 	defer ic.mu.Unlock()
 	if ic.isDead {
-		return 0
+		return 0, false
 	}
 	if ic.scratch == nil {
 		ic.scratch = make([]byte, 64<<10)
@@ -363,23 +470,35 @@ func (ic *inConn) poll(sink transport.Sink) int {
 		sc, ok := ic.c.(syscall.Conn)
 		if !ok {
 			ic.isDead = true
-			return 0
+			return 0, false
 		}
 		rd, err := rawpoll.NewReader(sc)
 		if err != nil {
 			ic.isDead = true
-			return 0
+			return 0, false
 		}
 		ic.rd = rd
 	}
-	n, err := ic.rd.Read(ic.scratch)
-	if n > 0 {
-		ic.buf = append(ic.buf, ic.scratch[:n]...)
+	delivered := 0
+	progressed := false
+	for reads := 0; drainAll || reads < maxPollReads; reads++ {
+		n, err := ic.rd.Read(ic.scratch)
+		if n > 0 {
+			progressed = true
+			ic.buf = append(ic.buf, ic.scratch[:n]...)
+			delivered += ic.extract(sink)
+			if ic.isDead { // extract poisons the conn on a malformed frame
+				break
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, rawpoll.ErrWouldBlock) {
+				ic.isDead = true
+			}
+			break
+		}
 	}
-	if err != nil && !errors.Is(err, rawpoll.ErrWouldBlock) {
-		ic.isDead = true
-	}
-	return ic.extract(sink)
+	return delivered, progressed
 }
 
 func (ic *inConn) extract(sink transport.Sink) int {

@@ -165,7 +165,10 @@ type Module interface {
 	Dial(remote Descriptor) (Conn, error)
 	// Poll checks once for pending inbound communication, delivering any
 	// complete frames to the environment's sink. It returns the number of
-	// frames delivered. Poll is called from the context's polling loop and
+	// frames delivered; a module may additionally count inbound progress
+	// that completed no frame (a stream mid-way through a large frame) as
+	// one unit, so activity-driven pollers keep probing rather than treat
+	// the pass as idle. Poll is called from the context's polling loop and
 	// need not be safe for concurrent use with itself.
 	Poll() (int, error)
 	// Close shuts the module down and releases its resources.
@@ -179,6 +182,50 @@ type Module interface {
 type Blocker interface {
 	StartBlocking() error
 	StopBlocking()
+}
+
+// Readiness is the registration surface a readiness reactor offers a
+// Reactive module: the module adds the file descriptors whose readability
+// implies pending inbound work, and removes them as sockets come and go. A
+// registered fd MUST be removed before it is closed — descriptor numbers are
+// reused by the OS, and a stale registration would attribute a new socket's
+// readiness to the old owner.
+type Readiness interface {
+	Add(fd int) error
+	Remove(fd int)
+}
+
+// Reactive is an optional capability: a module whose inbound sockets can be
+// watched by an OS readiness facility (epoll) instead of being probed on
+// every poll pass. AttachReactor switches the module to readiness-driven
+// detection: the module registers its current inbound fds with r and keeps
+// the set current as connections are accepted and torn down. Registration is
+// edge-triggered, which imposes one contract on the module's Poll: once
+// attached, every Poll call must drain all pending inbound data — its final
+// read must observe "would block" — because consumed edges are not
+// re-announced. Poll remains callable at any time (spurious calls find
+// nothing and return), so a module works identically whether or not the
+// caller honors readiness.
+//
+// AttachReactor returns ErrNotReactive (or any error) when the module cannot
+// export pollable fds in its current configuration — for example a wrapper
+// whose inner method is memory-backed — and the caller keeps the module on
+// the portable polling path. DetachReactor removes every registered fd and
+// returns the module to pure polling.
+type Reactive interface {
+	AttachReactor(r Readiness) error
+	DetachReactor()
+}
+
+// BatchSender is an optional Conn capability: SendBatch transmits a sequence
+// of frames in order, amortizing per-call overhead — one sendmmsg(2) system
+// call per batch on Linux datagram sockets, against one sendto(2) per frame
+// through Send. It returns the number of frames handed to the wire; when err
+// is non-nil, frames[n] is the one that failed and frames beyond it were not
+// attempted. Like Send, every frame is borrowed: the caller may reuse or
+// recycle the slices as soon as SendBatch returns.
+type BatchSender interface {
+	SendBatch(frames [][]byte) (int, error)
 }
 
 // CostHinter is an optional capability: a module that advertises its
@@ -210,4 +257,8 @@ var (
 	// Method-specific too-large errors wrap it, so callers test any module's
 	// rejection with errors.Is(err, transport.ErrTooLarge).
 	ErrTooLarge = errors.New("transport: frame exceeds method message-size limit")
+	// ErrNotReactive reports AttachReactor on a module that cannot use
+	// readiness-driven detection in its current configuration; the caller
+	// keeps the module poll-based.
+	ErrNotReactive = errors.New("transport: module cannot use readiness detection")
 )

@@ -1,0 +1,98 @@
+package udp
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nexus/internal/transport"
+)
+
+// countSink counts delivered frames without copying them.
+type countSink struct{ n atomic.Int64 }
+
+func (s *countSink) Deliver(f []byte) { s.n.Add(1) }
+
+// BenchmarkDatagramBurst measures pushing bursts of datagrams through the
+// module: "single" pays one sendto(2) per frame, "batch" hands the whole
+// train to SendBatch (sendmmsg, or a single GSO sendmsg for the equal-sized
+// frames used here). A background drainer keeps the receive socket from
+// overflowing; the measured loop is the send side. One op is one burst.
+func BenchmarkDatagramBurst(b *testing.B) {
+	const (
+		burst     = 64
+		frameSize = 1200
+	)
+	for _, mode := range []string{"single", "batch"} {
+		b.Run(mode, func(b *testing.B) {
+			sink := &countSink{}
+			params := transport.Params{"rcvbuf": "8388608", "sndbuf": "8388608"}
+			recv := New(params)
+			d, err := recv.Init(transport.Env{Context: 1, Sink: sink})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer recv.Close()
+			send := New(params)
+			if _, err := send.Init(transport.Env{Context: 2, Sink: &countSink{}}); err != nil {
+				b.Fatal(err)
+			}
+			defer send.Close()
+			c, err := send.Dial(*d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+
+			stop := make(chan struct{})
+			drained := make(chan struct{})
+			go func() {
+				defer close(drained)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if n, _ := recv.Poll(); n == 0 {
+						time.Sleep(50 * time.Microsecond)
+					}
+				}
+			}()
+
+			frames := make([][]byte, burst)
+			for i := range frames {
+				frames[i] = make([]byte, frameSize)
+			}
+			bs := c.(transport.BatchSender)
+			b.SetBytes(burst * frameSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "batch" {
+					if _, err := bs.SendBatch(frames); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					for _, f := range frames {
+						if err := c.Send(f); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+			b.StopTimer()
+			// Give the drainer a moment to absorb the tail of the last burst
+			// before tearing it down (calibration runs are a single burst).
+			deadline := time.Now().Add(2 * time.Second)
+			for sink.n.Load() == 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			close(stop)
+			<-drained
+			if sink.n.Load() == 0 {
+				b.Fatal("receiver saw no datagrams")
+			}
+			b.ReportMetric(float64(sink.n.Load())/float64(b.N*burst), "delivered/sent")
+		})
+	}
+}

@@ -7,6 +7,15 @@
 // datagram are rejected rather than fragmented, and delivery is not
 // guaranteed. An optional loss parameter injects deterministic artificial
 // drop for failure-injection tests.
+//
+// Detection and transmission are syscall-batched: Poll drains a burst of
+// queued datagrams per recvmmsg(2) into persistent receive slots (no copy,
+// no allocation on the steady-state receive path), connections flush frame
+// trains with sendmmsg(2) via the BatchSender capability — collapsing an
+// equal-sized train into a single UDP-GSO sendmsg(2) where the kernel
+// supports it — and the module implements transport.Reactive, so a
+// readiness reactor can take its socket out of the polling rotation
+// entirely until the kernel reports data.
 package udp
 
 import (
@@ -47,21 +56,42 @@ func init() {
 // net.core.rmem_max, and the setting is best-effort.
 const DefaultRecvBuffer = 4 << 20
 
+// DefaultSendBuffer is the socket send buffer requested for outbound
+// connections. sendmmsg hands the kernel a whole fragment train in one call;
+// the ~208 KiB Linux default absorbs only three 60 KiB datagrams before the
+// sender parks on writability mid-batch, so the batch path wants the same
+// headroom the receive path already requests.
+const DefaultSendBuffer = 4 << 20
+
+// recvSlots is the Poll batch width: datagrams drained per recvmmsg call.
+const recvSlots = 16
+
+// sendSlots is the per-connection batch width: frames per sendmmsg call.
+const sendSlots = 16
+
+// maxPollDatagrams bounds one fallback Poll pass. A pass drains full batches
+// until the socket is empty or the bound is reached, so a flooding peer
+// cannot pin the polling loop inside one module's Poll while other methods
+// starve. Reactor-attached modules ignore the bound: edge-triggered
+// readiness requires draining to "would block" (transport.Reactive).
+const maxPollDatagrams = 1024
+
 // Module is a UDP communication method instance.
 type Module struct {
 	listen string
 	loss   float64
 	seed   int64
 	rcvbuf int
+	sndbuf int
 
 	mu     sync.Mutex
 	env    transport.Env
 	pc     *net.UDPConn
-	rd     *rawpoll.Reader
+	br     *rawpoll.BatchReader
+	fd     int
+	rd     transport.Readiness // non-nil while reactor-attached
 	inited bool
 	closed bool
-
-	scratch []byte
 }
 
 // New returns an uninitialized UDP module. Recognized parameters:
@@ -71,6 +101,8 @@ type Module struct {
 //	seed   — RNG seed for deterministic loss injection (default 1)
 //	rcvbuf — requested socket receive buffer in bytes (default 4 MiB;
 //	         0 keeps the OS default)
+//	sndbuf — requested socket send buffer in bytes, applied to outbound
+//	         connections (default 4 MiB; 0 keeps the OS default)
 func New(p transport.Params) *Module {
 	if p == nil {
 		p = transport.Params{}
@@ -80,11 +112,23 @@ func New(p transport.Params) *Module {
 		loss:   p.Float("loss", 0),
 		seed:   int64(p.Int("seed", 1)),
 		rcvbuf: p.Int("rcvbuf", DefaultRecvBuffer),
+		sndbuf: p.Int("sndbuf", DefaultSendBuffer),
 	}
 }
 
 // Name implements transport.Module.
 func (m *Module) Name() string { return Name }
+
+// udpFd returns the fd behind a *net.UDPConn (or -1).
+func udpFd(pc *net.UDPConn) int {
+	fd := -1
+	rc, err := pc.SyscallConn()
+	if err != nil {
+		return -1
+	}
+	_ = rc.Control(func(f uintptr) { fd = int(f) })
+	return fd
+}
 
 // Init binds the datagram socket.
 func (m *Module) Init(env transport.Env) (*transport.Descriptor, error) {
@@ -104,16 +148,16 @@ func (m *Module) Init(env transport.Env) (*transport.Descriptor, error) {
 	if m.rcvbuf > 0 {
 		_ = pc.SetReadBuffer(m.rcvbuf) // best effort; kernel caps apply
 	}
-	rd, err := rawpoll.NewReader(pc)
+	br, err := rawpoll.NewBatchReader(pc, recvSlots, 64<<10)
 	if err != nil {
 		pc.Close()
-		return nil, fmt.Errorf("udp: raw reader: %w", err)
+		return nil, fmt.Errorf("udp: batch reader: %w", err)
 	}
 	m.env = env
 	m.pc = pc
-	m.rd = rd
+	m.br = br
+	m.fd = udpFd(pc)
 	m.inited = true
-	m.scratch = make([]byte, 64<<10)
 	return &transport.Descriptor{
 		Method:  Name,
 		Context: env.Context,
@@ -154,7 +198,15 @@ func (m *Module) Dial(remote transport.Descriptor) (transport.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udp: dial %s: %w", addr, err)
 	}
-	oc := &conn{c: c}
+	if m.sndbuf > 0 {
+		_ = c.SetWriteBuffer(m.sndbuf) // best effort; kernel caps apply
+	}
+	bw, err := rawpoll.NewBatchWriter(c, sendSlots)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("udp: batch writer: %w", err)
+	}
+	oc := &conn{c: c, bw: bw, gso: rawpoll.ProbeGSO(c)}
 	if m.loss > 0 {
 		oc.loss = m.loss
 		oc.rng = rand.New(rand.NewSource(m.seed))
@@ -162,7 +214,42 @@ func (m *Module) Dial(remote transport.Descriptor) (transport.Conn, error) {
 	return oc, nil
 }
 
-// Poll drains every datagram currently queued on the socket.
+// AttachReactor implements transport.Reactive: the listen socket joins the
+// reactor's watch set, and Poll calls switch to drain-to-empty semantics.
+func (m *Module) AttachReactor(r transport.Readiness) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.inited {
+		return transport.ErrNotInitialized
+	}
+	if m.closed {
+		return transport.ErrClosed
+	}
+	if m.fd < 0 {
+		return transport.ErrNotReactive
+	}
+	if err := r.Add(m.fd); err != nil {
+		return err
+	}
+	m.rd = r
+	return nil
+}
+
+// DetachReactor implements transport.Reactive.
+func (m *Module) DetachReactor() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.rd != nil {
+		m.rd.Remove(m.fd)
+		m.rd = nil
+	}
+}
+
+// Poll drains queued datagrams in recvmmsg batches, delivering each frame
+// straight from its receive slot (the sink borrows it for the call). The
+// fallback path bounds one pass at maxPollDatagrams; reactor-attached
+// modules drain until the socket reports empty, as edge-triggered readiness
+// requires.
 func (m *Module) Poll() (int, error) {
 	m.mu.Lock()
 	if !m.inited {
@@ -173,26 +260,28 @@ func (m *Module) Poll() (int, error) {
 		m.mu.Unlock()
 		return 0, transport.ErrClosed
 	}
-	rd, sink, scratch := m.rd, m.env.Sink, m.scratch
+	br, sink, attached := m.br, m.env.Sink, m.rd != nil
 	m.mu.Unlock()
 
 	delivered := 0
 	for {
-		n, err := rd.Read(scratch)
-		if n > 0 {
-			frame := make([]byte, n)
-			copy(frame, scratch[:n])
-			sink.Deliver(frame)
-			delivered++
-			continue
+		n, err := br.Recv()
+		for i := 0; i < n; i++ {
+			sink.Deliver(br.Frame(i))
 		}
-		if errors.Is(err, rawpoll.ErrWouldBlock) || err == nil {
-			return delivered, nil
+		delivered += n
+		if err != nil {
+			if errors.Is(err, rawpoll.ErrWouldBlock) {
+				return delivered, nil
+			}
+			if m.isClosed() {
+				return delivered, transport.ErrClosed
+			}
+			return delivered, err
 		}
-		if m.isClosed() {
-			return delivered, transport.ErrClosed
+		if !attached && delivered >= maxPollDatagrams {
+			return delivered, nil // bounded pass; the rest waits for the next
 		}
-		return delivered, err
 	}
 }
 
@@ -213,6 +302,10 @@ func (m *Module) Close() error {
 		return nil
 	}
 	m.closed = true
+	if m.rd != nil {
+		m.rd.Remove(m.fd) // before close: the OS may reuse the fd number
+		m.rd = nil
+	}
 	if m.pc != nil {
 		return m.pc.Close()
 	}
@@ -222,6 +315,10 @@ func (m *Module) Close() error {
 type conn struct {
 	mu   sync.Mutex
 	c    *net.UDPConn
+	bw   *rawpoll.BatchWriter
+	gso  bool
+	gbuf []byte // GSO coalescing buffer, allocated on first use
+	kept [][]byte
 	loss float64
 	rng  *rand.Rand
 }
@@ -237,6 +334,88 @@ func (c *conn) Send(frame []byte) error {
 	}
 	_, err := c.c.Write(frame)
 	return err
+}
+
+// maxGSOBytes caps one GSO super-datagram: the kernel bounds the whole
+// buffer to an IP datagram's 64 KiB payload space.
+const maxGSOBytes = 63 << 10
+
+// maxGSOSegments is the kernel's UDP_MAX_SEGMENTS.
+const maxGSOSegments = 64
+
+// SendBatch implements transport.BatchSender: the train goes out in one
+// sendmmsg(2) per sendSlots frames — or, when every frame but the last has
+// the same size and the kernel supports UDP generic segmentation offload, in
+// a single sendmsg(2) that the kernel splits on the way out.
+func (c *conn) SendBatch(frames [][]byte) (int, error) {
+	for i, f := range frames {
+		if len(f) > MaxDatagram {
+			return i, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(f))
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng != nil {
+		// Loss injection decides per frame; survivors still go out batched.
+		c.kept = c.kept[:0]
+		for _, f := range frames {
+			if c.rng.Float64() >= c.loss {
+				c.kept = append(c.kept, f)
+			}
+		}
+		if _, err := c.bw.Send(c.kept); err != nil {
+			return 0, fmt.Errorf("udp: batch send: %w", err)
+		}
+		return len(frames), nil
+	}
+	if seg := gsoSegment(frames); c.gso && seg > 0 {
+		if c.gbuf == nil {
+			c.gbuf = make([]byte, 0, maxGSOBytes)
+		}
+		buf := c.gbuf[:0]
+		for _, f := range frames {
+			buf = append(buf, f...)
+		}
+		if err := c.bw.SendGSO(buf, seg); err != nil {
+			// EIO/EINVAL here can mean a GSO-incapable path (e.g. a device
+			// change after probe); disable and fall through to sendmmsg.
+			c.gso = false
+		} else {
+			return len(frames), nil
+		}
+	}
+	n, err := c.bw.Send(frames)
+	if err != nil {
+		return n, fmt.Errorf("udp: batch send: %w", err)
+	}
+	return n, nil
+}
+
+// gsoSegment reports the segment size to use for a GSO send of frames, or 0
+// when the train does not qualify (fewer than two frames, unequal sizes
+// before the last, last longer than the rest, or total beyond the GSO cap).
+func gsoSegment(frames [][]byte) int {
+	if len(frames) < 2 || len(frames) > maxGSOSegments {
+		return 0
+	}
+	seg := len(frames[0])
+	if seg == 0 {
+		return 0
+	}
+	total := 0
+	for i, f := range frames {
+		if i < len(frames)-1 && len(f) != seg {
+			return 0
+		}
+		if i == len(frames)-1 && len(f) > seg {
+			return 0
+		}
+		total += len(f)
+	}
+	if total > maxGSOBytes {
+		return 0
+	}
+	return seg
 }
 
 func (c *conn) Method() string { return Name }
