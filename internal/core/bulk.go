@@ -63,7 +63,10 @@ func (fc FragConfig) toFragConfig(maxMsg int) frag.Config {
 func (sp *Startpoint) fragmentTo(conn transport.Conn, maxMsg int, destCtx transport.ContextID, destEP uint64,
 	flags byte, tid obsv.TraceID, handler string, payload []byte) error {
 	owner := sp.owner
-	fragFlags := flags | wire.FlagFrag
+	// A piggybacked credit grant does not survive fragmentation (the
+	// fragment headers carry no credit fields); dropping it only delays the
+	// grant — cumulative totals make a later one supersede it.
+	fragFlags := (flags &^ wire.FlagCredit) | wire.FlagFrag
 	hdr := wire.HeaderLenExt(len(handler), fragFlags)
 	chunk := maxMsg - hdr
 	if chunk <= 0 {
@@ -183,6 +186,9 @@ func (c *Context) handleFragment(ms *moduleState, f *wire.Frame) {
 		return
 	case frag.OverBudget, frag.TooLarge:
 		c.cFragDropped.Inc()
+		// Reassembly refusing a message is receive-side load shedding: account
+		// it under the frame's class so overload diagnosis sees one ledger.
+		c.shedCounter(f.Class()).Inc()
 		c.errlog(fmt.Errorf("core: context %d: dropped partial message %#x from context %d: %s",
 			c.id, f.FragID, f.SrcContext, res))
 		return
@@ -201,7 +207,7 @@ func (c *Context) handleFragment(ms *moduleState, f *wire.Frame) {
 		buf := bufpool.Get(nf.EncodedLen())
 		nf.EncodeTo(buf)
 		bufpool.Put(payload)
-		c.dispatcher.enqueueOwned(ms, nf.DestEndpoint, buf)
+		c.dispatcher.enqueueOwned(ms, &nf, buf)
 		return
 	}
 	c.deliver(ms, &nf)

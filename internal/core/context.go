@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"nexus/internal/buffer"
+	"nexus/internal/flow"
 	"nexus/internal/frag"
 	"nexus/internal/metrics"
 	"nexus/internal/obsv"
@@ -119,6 +120,10 @@ type Options struct {
 	// Frag tunes the receive-side fragment reassembler (buffering budgets,
 	// stale-partial TTL). The zero value selects defaults.
 	Frag FragConfig
+	// Flow enables and tunes credit-based flow control (see FlowConfig). The
+	// zero value leaves it off: sends are never charged against credit and
+	// the context advertises no windows.
+	Flow FlowConfig
 	// DisableReactor keeps every module on the portable polling path even
 	// where the platform offers a readiness reactor (Linux epoll). By
 	// default, modules implementing transport.Reactive register their
@@ -170,6 +175,14 @@ type Context struct {
 	cFragExpired   *metrics.Counter // frag.expired
 	cFragDup       *metrics.Counter // frag.duplicates
 	cFragDropped   *metrics.Counter // frag.dropped (invalid or over-budget)
+
+	// flow is the credit-based flow-control state (nil unless Options.Flow
+	// is enabled); the rsr.shed.* counters record messages dropped by class —
+	// send side on credit exhaustion, receive side at dispatch admission.
+	flow         *flowState
+	cShedControl *metrics.Counter // rsr.shed.control (exists for symmetry; stays 0)
+	cShedNormal  *metrics.Counter // rsr.shed.normal
+	cShedBulk    *metrics.Counter // rsr.shed.bulk
 
 	// The dispatch fast path resolves endpoints and handlers through
 	// copy-on-write tables: readers load the current map with one atomic
@@ -333,6 +346,12 @@ func NewContext(opts Options) (*Context, error) {
 	c.cFragExpired = c.stats.Counter("frag.expired")
 	c.cFragDup = c.stats.Counter("frag.duplicates")
 	c.cFragDropped = c.stats.Counter("frag.dropped")
+	c.cShedControl = c.stats.Counter("rsr.shed.control")
+	c.cShedNormal = c.stats.Counter("rsr.shed.normal")
+	c.cShedBulk = c.stats.Counter("rsr.shed.bulk")
+	if opts.Flow.Enabled {
+		c.flow = newFlowState(opts.Flow, c.stats)
+	}
 	if opts.Threaded {
 		c.dispatcher = newDispatcher(c, opts.Dispatch)
 	}
@@ -573,6 +592,20 @@ func (c *Context) dispatch(ms *moduleState, frame []byte) {
 		c.forward(&f, frame)
 		return
 	}
+	if f.Type == wire.TypeControl && f.HasCredit() {
+		// Standalone credit frame (grant or probe): protocol traffic, not an
+		// RSR — consumed here, never queued, never shed.
+		c.handleCreditFrame(&f)
+		return
+	}
+	if c.flow != nil {
+		if f.HasCredit() && ms != nil {
+			// Grant piggybacked on reverse traffic: the credited method is the
+			// one the frame arrived on (both ends name modules identically).
+			c.flow.bank.Refill(f.SrcContext, ms.name, f.CreditBytes, f.CreditFrames)
+		}
+		c.flowConsume(ms, &f, len(frame))
+	}
 	c.cRSRRecv.Inc()
 	c.cBytesRecv.Add(uint64(len(frame)))
 	if c.obs.mode.Load()&obsTrace != 0 && f.HasTrace() && ms != nil {
@@ -604,7 +637,7 @@ func (c *Context) dispatch(ms *moduleState, frame []byte) {
 		return
 	}
 	if c.dispatcher != nil {
-		c.dispatcher.enqueue(ms, f.DestEndpoint, frame)
+		c.dispatcher.enqueue(ms, &f, frame)
 		return
 	}
 	c.deliver(ms, &f)
@@ -692,6 +725,14 @@ func (c *Context) Close() error {
 	conns := c.conns
 	c.conns = make(map[connKey]*sharedConn)
 	c.mu.Unlock()
+
+	if c.flow != nil {
+		// Cached grant routes reference conns in the map being closed below;
+		// drop the references without a release so nothing double-closes.
+		c.flow.mu.Lock()
+		c.flow.routes = make(map[flow.Key]*sharedConn)
+		c.flow.mu.Unlock()
+	}
 
 	var errs []string
 	for _, sc := range conns {

@@ -69,41 +69,111 @@ func (c DispatchConfig) withDefaults() DispatchConfig {
 }
 
 // laneItem is one queued frame plus the delivery metadata the lane worker
-// needs: the source module (per-method histograms, trace attribution) and
-// the enqueue timestamp for the queue-wait stage (0 when stats are off).
-// It is a small value struct so the hand-off stays allocation-free.
+// needs: the source module (per-method histograms, trace attribution), the
+// sending context (fair-queue key) and the enqueue timestamp for the
+// queue-wait stage (0 when stats are off). It is a small value struct so the
+// hand-off stays allocation-free.
 type laneItem struct {
 	buf []byte
 	ms  *moduleState
-	enq int64 // UnixNano at enqueue; 0 when stats disabled
+	src uint64 // sending context id: the per-sender fair-queue key
+	enq int64  // UnixNano at enqueue; 0 when stats disabled
+}
+
+// senderQueue is one sender's FIFO backlog inside a lane. items is a ring-less
+// slice with a moving head: once drained it resets to items[:0], so in steady
+// state the slice capacity is reused and enqueue allocates nothing.
+type senderQueue struct {
+	items []laneItem
+	head  int
+	inRR  bool // currently registered in the lane's round-robin ring
+}
+
+// laneShard is one dispatch lane: a bounded queue split into per-sender
+// sub-queues serviced round-robin. A sender flooding the lane fills only its
+// own sub-queue; the worker still takes one frame per sender per turn, so
+// well-behaved senders are never starved by an aggressive one. FIFO order is
+// per (sender, endpoint) — weaker than the old per-endpoint order only when
+// two contexts race to the same endpoint, where arrival order was already a
+// network accident.
+type laneShard struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	subs     map[uint64]*senderQueue // by sending context; entries persist once created
+	rr       []*senderQueue          // senders with pending frames, serviced in turn
+	rrIdx    int
+	size     int // total queued frames across sub-queues
+	closed   bool
+}
+
+func newLaneShard() *laneShard {
+	ln := &laneShard{subs: make(map[uint64]*senderQueue)}
+	ln.notEmpty.L = &ln.mu
+	ln.notFull.L = &ln.mu
+	return ln
+}
+
+// overShare reports whether sender src already holds at least its fair share
+// of a backlog budget: budget split evenly across the senders that currently
+// have frames queued (plus src itself if it has none). A sender with an empty
+// sub-queue is never over its share, so every sender can always get at least
+// one frame admitted no matter how hard the others push. Caller holds ln.mu.
+func (ln *laneShard) overShare(src uint64, budget int) bool {
+	sq := ln.subs[src]
+	if sq == nil || len(sq.items) == sq.head {
+		return false
+	}
+	active := len(ln.rr)
+	if !sq.inRR {
+		active++
+	}
+	share := budget / active
+	if share < 1 {
+		share = 1
+	}
+	return len(sq.items)-sq.head >= share
 }
 
 // dispatcher is the sharded worker pool behind a threaded context.
 type dispatcher struct {
 	ctx      *Context
-	lanes    []chan laneItem
-	done     chan struct{}
+	lanes    []*laneShard
+	ctl      *laneShard // dedicated control lane: never sheds, preempts data lanes
+	queueCap int
+	hiWater  int // bulk admission mark: at/above this depth, over-share senders' ClassBulk is shed
 	stopOnce sync.Once
 	onFull   DispatchPolicy
 
-	cFull   *metrics.Counter // dispatch.queue_full: lane-full events
-	cInline *metrics.Counter // dispatch.inline: frames run inline under overload
+	cFull     *metrics.Counter // dispatch.queue_full: lane-full events
+	cInline   *metrics.Counter // dispatch.inline: frames run inline under overload
+	cShedBulk *metrics.Counter // rsr.shed.bulk: ClassBulk frames dropped at admission
+	depth     *metrics.Gauge   // dispatch.lane.depth: frames queued across all lanes
 }
 
 func newDispatcher(c *Context, cfg DispatchConfig) *dispatcher {
 	cfg = cfg.withDefaults()
+	hi := cfg.QueueDepth * 3 / 4
+	if hi < 1 {
+		hi = 1
+	}
 	d := &dispatcher{
-		ctx:     c,
-		lanes:   make([]chan laneItem, cfg.Lanes),
-		done:    make(chan struct{}),
-		onFull:  cfg.OnFull,
-		cFull:   c.stats.Counter("dispatch.queue_full"),
-		cInline: c.stats.Counter("dispatch.inline"),
+		ctx:       c,
+		lanes:     make([]*laneShard, cfg.Lanes),
+		ctl:       newLaneShard(),
+		queueCap:  cfg.QueueDepth,
+		hiWater:   hi,
+		onFull:    cfg.OnFull,
+		cFull:     c.stats.Counter("dispatch.queue_full"),
+		cInline:   c.stats.Counter("dispatch.inline"),
+		cShedBulk: c.stats.Counter("rsr.shed.bulk"),
+		depth:     c.stats.Gauge("dispatch.lane.depth"),
 	}
 	for i := range d.lanes {
-		d.lanes[i] = make(chan laneItem, cfg.QueueDepth)
+		d.lanes[i] = newLaneShard()
 		go d.run(d.lanes[i])
 	}
+	go d.run(d.ctl)
 	return d
 }
 
@@ -112,10 +182,10 @@ func newDispatcher(c *Context, cfg DispatchConfig) *dispatcher {
 // storage that the lane worker returns to the pool after delivery — the
 // hand-off costs one copy and zero allocations in steady state, where the
 // old threaded mode paid a goroutine spawn plus a cloned payload.
-func (d *dispatcher) enqueue(ms *moduleState, destEP uint64, frame []byte) {
+func (d *dispatcher) enqueue(ms *moduleState, f *wire.Frame, frame []byte) {
 	buf := bufpool.Get(len(frame))
 	copy(buf, frame)
-	d.enqueueOwned(ms, destEP, buf)
+	d.enqueueOwned(ms, f, buf)
 }
 
 // enqueueOwned is enqueue for a frame already in pooled storage the caller
@@ -123,49 +193,125 @@ func (d *dispatcher) enqueue(ms *moduleState, destEP uint64, frame []byte) {
 // to the pool after delivery (or on shutdown). Reassembled bulk messages use
 // it so a multi-megabyte payload is not copied a second time on the way to
 // its lane.
-func (d *dispatcher) enqueueOwned(ms *moduleState, destEP uint64, buf []byte) {
-	it := laneItem{buf: buf, ms: ms}
+//
+// Admission is by class. ClassControl frames go to the dedicated control
+// lane, which applies backpressure but never sheds — health probes and
+// credit grants survive any data overload. ClassBulk frames are shed once
+// their lane reaches the high-water mark AND their sender already holds its
+// fair share of the backlog: under overload, cheap-to-regenerate bulk is the
+// first and only traffic dropped, the drop falls on the senders responsible
+// for the depth, and the sender learns about it through the credit window
+// closing rather than through silence. A global mark alone would shed by
+// arrival accident — whoever filled the lane first keeps it pinned at high
+// water and every later sender is dropped on sight. ClassNormal frames keep
+// the configured OnFull policy.
+func (d *dispatcher) enqueueOwned(ms *moduleState, f *wire.Frame, buf []byte) {
+	it := laneItem{buf: buf, ms: ms, src: f.SrcContext}
 	if d.ctx.obs.mode.Load()&obsStats != 0 {
 		it.enq = time.Now().UnixNano()
 	}
-	lane := d.lanes[destEP%uint64(len(d.lanes))]
-	select {
-	case lane <- it:
-		return
-	default:
+	cls := f.Class()
+	ln := d.ctl
+	if cls != wire.ClassControl {
+		ln = d.lanes[f.DestEndpoint%uint64(len(d.lanes))]
 	}
-	d.cFull.Inc()
-	if d.onFull == DispatchInline {
-		d.cInline.Inc()
-		d.ctx.deliverItem(it)
+	ln.mu.Lock()
+	if cls == wire.ClassBulk && (ln.size >= d.queueCap || ln.size >= d.hiWater && ln.overShare(it.src, d.hiWater)) {
+		ln.mu.Unlock()
+		d.cShedBulk.Inc()
 		bufpool.Put(buf)
 		return
 	}
-	select {
-	case lane <- it:
-	case <-d.done:
-		bufpool.Put(buf)
+	if ln.size >= d.queueCap && !ln.closed {
+		if cls != wire.ClassControl {
+			d.cFull.Inc()
+			if d.onFull == DispatchInline {
+				d.cInline.Inc()
+				ln.mu.Unlock()
+				d.ctx.deliverItem(it)
+				bufpool.Put(buf)
+				return
+			}
+		}
+		for ln.size >= d.queueCap && !ln.closed {
+			ln.notFull.Wait()
+		}
 	}
+	if ln.closed {
+		ln.mu.Unlock()
+		bufpool.Put(buf)
+		return
+	}
+	sq := ln.subs[it.src]
+	if sq == nil {
+		sq = &senderQueue{}
+		ln.subs[it.src] = sq
+	}
+	sq.items = append(sq.items, it)
+	if !sq.inRR {
+		sq.inRR = true
+		ln.rr = append(ln.rr, sq)
+	}
+	ln.size++
+	d.depth.Inc()
+	ln.notEmpty.Signal()
+	ln.mu.Unlock()
 }
 
-// run is one lane worker: it owns its queue's FIFO order and returns each
-// frame's storage to the pool after the handler completes.
-func (d *dispatcher) run(lane chan laneItem) {
+// run is one lane worker. Each turn it takes one frame from the next sender
+// in the lane's round-robin ring, so service is fair across senders while
+// staying FIFO within each sender's backlog, and returns the frame's storage
+// to the pool after the handler completes.
+func (d *dispatcher) run(ln *laneShard) {
 	for {
-		select {
-		case <-d.done:
-			return
-		case it := <-lane:
-			d.ctx.deliverItem(it)
-			bufpool.Put(it.buf)
+		ln.mu.Lock()
+		for ln.size == 0 && !ln.closed {
+			ln.notEmpty.Wait()
 		}
+		if ln.closed {
+			// Context is closing: abandon the backlog, handlers already
+			// running finish on their own.
+			ln.mu.Unlock()
+			return
+		}
+		if ln.rrIdx >= len(ln.rr) {
+			ln.rrIdx = 0
+		}
+		sq := ln.rr[ln.rrIdx]
+		it := sq.items[sq.head]
+		sq.items[sq.head] = laneItem{}
+		sq.head++
+		if sq.head == len(sq.items) {
+			// Drained: keep the slice capacity, leave the ring until the
+			// sender queues again.
+			sq.items = sq.items[:0]
+			sq.head = 0
+			sq.inRR = false
+			ln.rr = append(ln.rr[:ln.rrIdx], ln.rr[ln.rrIdx+1:]...)
+		} else {
+			ln.rrIdx++
+		}
+		ln.size--
+		d.depth.Dec()
+		ln.notFull.Signal()
+		ln.mu.Unlock()
+		d.ctx.deliverItem(it)
+		bufpool.Put(it.buf)
 	}
 }
 
 // stop signals every lane worker to exit. Queued frames are abandoned (the
 // context is closing); handlers already running finish on their own.
 func (d *dispatcher) stop() {
-	d.stopOnce.Do(func() { close(d.done) })
+	d.stopOnce.Do(func() {
+		for _, ln := range append(d.lanes, d.ctl) {
+			ln.mu.Lock()
+			ln.closed = true
+			ln.notEmpty.Broadcast()
+			ln.notFull.Broadcast()
+			ln.mu.Unlock()
+		}
+	})
 }
 
 // deliverItem re-decodes a pooled frame on a lane worker and delivers it.

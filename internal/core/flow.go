@@ -1,0 +1,301 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"nexus/internal/bufpool"
+	"nexus/internal/flow"
+	"nexus/internal/metrics"
+	"nexus/internal/obsv"
+	"nexus/internal/transport"
+	"nexus/internal/wire"
+)
+
+// This file wires the credit-based flow control of internal/flow into the
+// context: every non-control RSR a startpoint sends debits a per-(peer,
+// method) window the receiver advertised, and a sender that runs out either
+// blocks briefly (ClassNormal) or sheds (ClassBulk) instead of burying a slow
+// receiver. Credit moves in three vehicles: grants piggybacked on normal
+// reverse traffic (wire.FlagCredit on an ordinary frame), standalone grant
+// frames for one-way links, and probe frames a starved sender emits so a
+// receiver whose grants were lost can reconcile and re-grant. Control-class
+// traffic — health probes, the credit frames themselves — is exempt in both
+// directions: it must survive exactly the overload flow control creates for
+// everything else.
+
+// ErrNoCredit reports a send refused (or timed out waiting) for link credit:
+// the receiver's advertised window for this link is exhausted. ClassBulk
+// sends fail immediately; ClassNormal sends fail after FlowConfig.BlockTimeout.
+var ErrNoCredit = errors.New("core: link credit exhausted")
+
+// Class re-exports the wire traffic classes so callers tag startpoints
+// without importing internal/wire.
+type Class = wire.Class
+
+// Traffic classes, in shedding order. Under overload ClassBulk is dropped
+// first (send side and receive side), ClassNormal blocks for credit, and
+// ClassControl bypasses credit and admission entirely.
+const (
+	ClassNormal  = wire.ClassNormal
+	ClassControl = wire.ClassControl
+	ClassBulk    = wire.ClassBulk
+)
+
+// FlowConfig tunes credit-based flow control. The zero value leaves it off;
+// zero fields otherwise select defaults.
+type FlowConfig struct {
+	// Enabled turns credit accounting on for every non-control link of the
+	// context (both sending and granting sides).
+	Enabled bool
+	// WindowBytes is the per-(peer, method) byte window this context
+	// advertises to senders (default 1 MiB). A peer can have at most this
+	// many bytes (plus one in-flight message) outstanding toward us.
+	WindowBytes int
+	// WindowFrames is the matching frame-count window (default 512).
+	WindowFrames int
+	// BlockTimeout bounds how long a ClassNormal send waits for credit before
+	// failing with ErrNoCredit (default 200ms; negative disables waiting).
+	// ClassBulk never waits.
+	BlockTimeout time.Duration
+	// ProbeInterval rate-limits credit probes from a starved sender
+	// (default 20ms per link).
+	ProbeInterval time.Duration
+}
+
+func (fc FlowConfig) withDefaults() FlowConfig {
+	if fc.WindowBytes <= 0 {
+		fc.WindowBytes = 1 << 20
+	}
+	if fc.WindowFrames <= 0 {
+		fc.WindowFrames = 512
+	}
+	if fc.BlockTimeout == 0 {
+		fc.BlockTimeout = 200 * time.Millisecond
+	}
+	if fc.ProbeInterval <= 0 {
+		fc.ProbeInterval = 20 * time.Millisecond
+	}
+	return fc
+}
+
+// Credit frames (wire.TypeControl + wire.FlagCredit) discriminate grant from
+// probe by destination endpoint; the Handler field carries the method name
+// the credit applies to.
+const (
+	creditEPGrant = 0
+	creditEPProbe = 1
+)
+
+// flowState is the context's credit machinery: the sender-side bank, the
+// receiver-side grantor, and cached reverse routes for standalone grants.
+type flowState struct {
+	cfg     FlowConfig
+	bank    *flow.Bank
+	grantor *flow.Grantor
+
+	mu     sync.Mutex
+	routes map[flow.Key]*sharedConn // grant routes, refs retained until Close
+
+	cGrantsSent      *metrics.Counter // flow.grants.sent (standalone + piggybacked)
+	cGrantsRecv      *metrics.Counter // flow.grants.recv
+	cProbesSent      *metrics.Counter // flow.probes.sent
+	cProbesRecv      *metrics.Counter // flow.probes.recv
+	cGrantUnroutable *metrics.Counter // flow.grants.unroutable: no reverse route
+}
+
+func newFlowState(cfg FlowConfig, stats *metrics.Set) *flowState {
+	cfg = cfg.withDefaults()
+	win := flow.Window{Bytes: uint64(cfg.WindowBytes), Frames: uint64(cfg.WindowFrames)}
+	return &flowState{
+		cfg:              cfg,
+		bank:             flow.NewBank(win),
+		grantor:          flow.NewGrantor(win),
+		routes:           make(map[flow.Key]*sharedConn),
+		cGrantsSent:      stats.Counter("flow.grants.sent"),
+		cGrantsRecv:      stats.Counter("flow.grants.recv"),
+		cProbesSent:      stats.Counter("flow.probes.sent"),
+		cProbesRecv:      stats.Counter("flow.probes.recv"),
+		cGrantUnroutable: stats.Counter("flow.grants.unroutable"),
+	}
+}
+
+// shedCounter maps a traffic class to its rsr.shed.* counter.
+func (c *Context) shedCounter(cls wire.Class) *metrics.Counter {
+	switch cls {
+	case wire.ClassControl:
+		return c.cShedControl
+	case wire.ClassBulk:
+		return c.cShedBulk
+	}
+	return c.cShedNormal
+}
+
+// flowAcquire charges one outbound message (bytes across frames wire frames)
+// against the link's credit. On exhaustion it probes the receiver (rate
+// limited), then either gives up (ClassBulk, or waiting disabled) or polls
+// for a refill until BlockTimeout. The poll inside the wait loop matters: a
+// single-threaded sender in a request/reply loop is often the only goroutine
+// that can detect the very grant it is waiting for.
+func (c *Context) flowAcquire(peer uint64, method string, conn transport.Conn, cls wire.Class, bytes, frames uint64) bool {
+	fl := c.flow
+	if fl.bank.TryAcquire(peer, method, bytes, frames) {
+		return true
+	}
+	if fl.bank.ShouldProbe(peer, method, time.Now(), fl.cfg.ProbeInterval) {
+		c.sendCreditProbe(peer, method, conn)
+	}
+	if cls == wire.ClassBulk || fl.cfg.BlockTimeout <= 0 {
+		return false
+	}
+	deadline := time.Now().Add(fl.cfg.BlockTimeout)
+	for {
+		c.tryPoll()
+		if fl.bank.TryAcquire(peer, method, bytes, frames) {
+			return true
+		}
+		now := time.Now()
+		if now.After(deadline) {
+			return false
+		}
+		if fl.bank.ShouldProbe(peer, method, now, fl.cfg.ProbeInterval) {
+			c.sendCreditProbe(peer, method, conn)
+		}
+		runtime.Gosched()
+	}
+}
+
+// sendCreditFrame emits one standalone credit frame (grant or probe, by
+// endpoint) on the given connection. The frame is control class: it bypasses
+// credit accounting and admission control on both sides.
+func (c *Context) sendCreditFrame(conn transport.Conn, peer uint64, method string, ep uint64, bytes, frames uint64) error {
+	flags := wire.FlagCredit | wire.ClassFlags(wire.ClassControl)
+	off := wire.HeaderLenExt(len(method), flags)
+	buf := bufpool.Get(off)
+	defer bufpool.Put(buf)
+	wire.EncodeHeaderExt(buf, wire.TypeControl, flags, peer, ep, uint64(c.id),
+		wire.Ext{CreditBytes: bytes, CreditFrames: frames}, method, 0)
+	return conn.Send(buf[:off])
+}
+
+// sendCreditProbe tells the receiver our cumulative sent totals on the link,
+// over the link's own connection. The receiver reconciles (healing credit
+// leaked by dropped frames) and answers with a grant.
+func (c *Context) sendCreditProbe(peer uint64, method string, conn transport.Conn) {
+	fl := c.flow
+	sb, sf := fl.bank.Sent(peer, method)
+	if err := c.sendCreditFrame(conn, peer, method, creditEPProbe, sb, sf); err == nil {
+		fl.cProbesSent.Inc()
+	}
+}
+
+// sendCreditGrant advertises the link's refreshed window to the peer with a
+// standalone grant frame. It needs a reverse route: the peer's registered
+// descriptor table, preferring the same method the credited traffic arrives
+// on. Routes are resolved once and cached; an unroutable grant is counted
+// and dropped — the sender's probe retries will find us again once a table
+// is registered.
+func (c *Context) sendCreditGrant(peer uint64, method string) {
+	fl := c.flow
+	bytes, frames := fl.grantor.Grant(peer, method)
+	k := flow.Key{Peer: peer, Method: method}
+	sc := c.creditRoute(k)
+	if sc == nil {
+		fl.cGrantUnroutable.Inc()
+		return
+	}
+	if err := c.sendCreditFrame(sc.conn, peer, method, creditEPGrant, bytes, frames); err != nil {
+		c.dropCreditRoute(k, sc)
+		return
+	}
+	fl.cGrantsSent.Inc()
+}
+
+// creditRoute resolves (and caches) the connection grants to a peer travel
+// on. The cached sharedConn keeps a reference until the route is dropped or
+// the context closes.
+func (c *Context) creditRoute(k flow.Key) *sharedConn {
+	fl := c.flow
+	fl.mu.Lock()
+	sc := fl.routes[k]
+	fl.mu.Unlock()
+	if sc != nil {
+		return sc
+	}
+	table := c.PeerTable(transport.ContextID(k.Peer))
+	if table == nil {
+		return nil
+	}
+	desc, ok := table.Find(k.Method)
+	if !ok {
+		// The peer does not advertise the method its traffic reached us on
+		// (asymmetric setup); any applicable method carries the grant — the
+		// frame itself names the credited method.
+		d, err := c.healthSel(c, table)
+		if err != nil {
+			return nil
+		}
+		desc = d
+	}
+	nsc, err := c.acquireConn(desc, obsv.TraceID{})
+	if err != nil {
+		return nil
+	}
+	fl.mu.Lock()
+	if cur := fl.routes[k]; cur != nil {
+		fl.mu.Unlock()
+		c.releaseConn(nsc)
+		return cur
+	}
+	fl.routes[k] = nsc
+	fl.mu.Unlock()
+	return nsc
+}
+
+// dropCreditRoute uncaches a grant route after a send failure so the next
+// grant redials instead of inheriting the poisoned connection.
+func (c *Context) dropCreditRoute(k flow.Key, sc *sharedConn) {
+	fl := c.flow
+	fl.mu.Lock()
+	if fl.routes[k] == sc {
+		delete(fl.routes, k)
+	}
+	fl.mu.Unlock()
+	c.invalidateConn(sc)
+	c.releaseConn(sc)
+}
+
+// handleCreditFrame consumes an inbound standalone credit frame. Runs on the
+// delivering goroutine, before RSR accounting — credit frames are protocol
+// traffic, not RSRs.
+func (c *Context) handleCreditFrame(f *wire.Frame) {
+	fl := c.flow
+	if fl == nil {
+		return
+	}
+	switch f.DestEndpoint {
+	case creditEPProbe:
+		fl.cProbesRecv.Inc()
+		fl.grantor.Sync(f.SrcContext, f.Handler, f.CreditBytes, f.CreditFrames)
+		c.sendCreditGrant(f.SrcContext, f.Handler)
+	case creditEPGrant:
+		fl.cGrantsRecv.Inc()
+		fl.bank.Refill(f.SrcContext, f.Handler, f.CreditBytes, f.CreditFrames)
+	}
+}
+
+// flowConsume records one delivered frame against the granting ledger and
+// sends a refreshed grant when half the window has been consumed. Called on
+// every non-control arrival from a remote module, including frames later
+// shed at dispatch admission: the sender debited them, so they must be
+// accounted or the window leaks.
+func (c *Context) flowConsume(ms *moduleState, f *wire.Frame, n int) {
+	if c.flow == nil || ms == nil || ms.name == "local" || f.Class() == wire.ClassControl {
+		return
+	}
+	if c.flow.grantor.Consume(f.SrcContext, ms.name, uint64(n), 1) {
+		c.sendCreditGrant(f.SrcContext, ms.name)
+	}
+}

@@ -33,7 +33,22 @@ type Startpoint struct {
 	// to the locked slow path only when the snapshot is missing, incomplete,
 	// or stale against the health registry's generation.
 	snap atomic.Pointer[sendSnapshot]
+
+	// class is the wire.Class every RSR from this startpoint is tagged with
+	// (atomic: SetClass may race with concurrent sends). ClassNormal frames
+	// carry no class bits, keeping the default send byte-identical to v1.
+	class atomic.Uint32
 }
+
+// SetClass tags all subsequent RSRs from this startpoint with a traffic
+// class. ClassControl traffic bypasses credit windows and dispatch admission
+// (and must be reserved for small protocol-critical messages); ClassBulk is
+// the first traffic shed under overload; ClassNormal (the default) blocks
+// briefly for credit and keeps the configured dispatch policy.
+func (sp *Startpoint) SetClass(cls Class) { sp.class.Store(uint32(cls)) }
+
+// Class reports the traffic class RSRs from this startpoint carry.
+func (sp *Startpoint) Class() Class { return Class(sp.class.Load()) }
 
 // sendSnapshot is an immutable publication of a startpoint's link set. The
 // lock-free send path trusts it as long as its generation matches the health
@@ -381,7 +396,9 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 		tid = owner.newTraceID()
 		flags = wire.FlagTrace
 	}
-	payloadLen := 1 // lone format tag for a nil buffer
+	cls := wire.Class(sp.class.Load())
+	flags |= wire.ClassFlags(cls) // ClassNormal adds no bits: default stays v1
+	payloadLen := 1               // lone format tag for a nil buffer
 	if b != nil {
 		payloadLen = b.EncodedLen()
 	}
@@ -400,12 +417,29 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 			return err
 		}
 	}
+	ext := wire.Ext{Trace: [16]byte(tid)}
+	if fl := owner.flow; fl != nil && len(snap.links) == 1 && cls != wire.ClassControl {
+		// Piggyback a due credit grant for the reverse direction of this
+		// link on the outbound frame — the no-extra-frame refill path for
+		// request/reply traffic. Single-link only (the frame is encoded
+		// once for all links), and only when the credited frame stays under
+		// the link's limit: fragmentation strips the credit extension.
+		l0 := &snap.links[0]
+		if l0.method != "" && l0.method != "local" &&
+			wire.HeaderLenExt(len(handler), flags|wire.FlagCredit)+payloadLen <= l0.maxMsg {
+			if gb, gf, ok := fl.grantor.GrantIfDue(uint64(l0.context), l0.method); ok {
+				flags |= wire.FlagCredit
+				ext.CreditBytes, ext.CreditFrames = gb, gf
+				fl.cGrantsSent.Inc()
+			}
+		}
+	}
 	off := wire.HeaderLenExt(len(handler), flags)
 	enc := bufpool.Get(off + payloadLen)
 	defer bufpool.Put(enc)
 	wire.EncodeHeaderExt(enc, wire.TypeRSR, flags,
 		uint64(snap.links[0].context), snap.links[0].endpoint, uint64(owner.id),
-		wire.Ext{Trace: [16]byte(tid)}, handler, payloadLen)
+		ext, handler, payloadLen)
 	if b != nil {
 		b.EncodeTo(enc[off:])
 	} else {
@@ -431,6 +465,22 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 			owner.cRSRSent.Inc()
 			owner.cBytesSent.Add(uint64(len(enc)))
 			continue
+		}
+		if fl := owner.flow; fl != nil && cls != wire.ClassControl && l.method != "local" {
+			// Charge the message against this link's credit window before it
+			// touches the transport. A fragmenting message debits one frame
+			// per fragment; the byte debit is the whole encoding either way.
+			nframes := uint64(1)
+			if l.maxMsg > 0 && len(enc) > l.maxMsg {
+				if chunk := l.maxMsg - wire.HeaderLenExt(len(handler), (flags&^wire.FlagCredit)|wire.FlagFrag); chunk > 0 {
+					nframes = uint64((len(enc) - off + chunk - 1) / chunk)
+				}
+			}
+			if !owner.flowAcquire(uint64(l.context), l.method, l.conn.conn, cls, uint64(len(enc)), nframes) {
+				owner.shedCounter(cls).Inc()
+				errs = append(errs, fmt.Errorf("core: RSR via %s to context %d: %w", l.method, l.context, ErrNoCredit))
+				continue
+			}
 		}
 		var t0 time.Time
 		if mode&obsStats != 0 {

@@ -1,0 +1,229 @@
+// Package flow implements credit-based per-link flow control: the accounting
+// behind the wire.FlagCredit extension.
+//
+// A receiver advertises a byte/frame window per (peer, method) link; the
+// sender debits that window on every send and stops (or sheds, per class
+// policy) when it is exhausted. The protocol is expressed entirely in
+// CUMULATIVE totals, which makes it robust to everything a datagram method
+// can do to control traffic:
+//
+//   - A grant carries the total bytes/frames the receiver has ever granted on
+//     the link. The sender's available credit is granted − sent, and refills
+//     merge by max — so lost, duplicated, or reordered grants can only delay
+//     credit, never corrupt it.
+//   - A probe carries the sender's cumulative sent totals. The receiver
+//     reconciles by max-merging them into its consumed totals: frames the
+//     sender debited but the network dropped would otherwise leak credit
+//     forever; the probe heals the leak and triggers a fresh grant.
+//
+// Both sides bootstrap a new link at one full window (sender assumes it,
+// receiver accounts for it), so the first messages flow without a handshake.
+// The packages exposes two halves: Bank is the sender side (credits consumed
+// toward each peer), Grantor the receiver side (credits granted to each peer).
+package flow
+
+import (
+	"sync"
+	"time"
+)
+
+// Window is a per-link credit allowance. Both dimensions bound the link:
+// bytes cap buffered memory, frames cap queue slots.
+type Window struct {
+	Bytes  uint64
+	Frames uint64
+}
+
+// Key identifies one flow-controlled link: the remote context and the
+// method-layer name the traffic arrives under.
+type Key struct {
+	Peer   uint64
+	Method string
+}
+
+// Bank is the sender-side credit ledger: one entry per (peer, method) link
+// this context sends on.
+type Bank struct {
+	win   Window
+	mu    sync.Mutex
+	links map[Key]*bankEntry
+}
+
+type bankEntry struct {
+	grantedBytes, grantedFrames uint64 // cumulative totals granted by the receiver
+	sentBytes, sentFrames       uint64 // cumulative totals debited locally
+	lastProbe                   time.Time
+}
+
+// NewBank returns a sender-side ledger that assumes every new link starts
+// with one full window of credit.
+func NewBank(win Window) *Bank {
+	return &Bank{win: win, links: make(map[Key]*bankEntry)}
+}
+
+func (b *Bank) entry(peer uint64, method string) *bankEntry {
+	k := Key{Peer: peer, Method: method}
+	e := b.links[k]
+	if e == nil {
+		e = &bankEntry{grantedBytes: b.win.Bytes, grantedFrames: b.win.Frames}
+		b.links[k] = e
+	}
+	return e
+}
+
+// TryAcquire debits bytes/frames against the link's remaining credit. It
+// admits while ANY credit remains: a message larger than the remainder
+// overdraws by at most one message, which guarantees progress for messages
+// bigger than the window — the receiver's memory bound becomes window plus
+// one maximal message, still finite.
+func (b *Bank) TryAcquire(peer uint64, method string, bytes, frames uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(peer, method)
+	if e.sentBytes >= e.grantedBytes || e.sentFrames >= e.grantedFrames {
+		return false
+	}
+	e.sentBytes += bytes
+	e.sentFrames += frames
+	return true
+}
+
+// Refill merges a grant (cumulative totals) into the link. Max-merge makes
+// duplicate and reordered grants harmless.
+func (b *Bank) Refill(peer uint64, method string, grantedBytes, grantedFrames uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(peer, method)
+	if grantedBytes > e.grantedBytes {
+		e.grantedBytes = grantedBytes
+	}
+	if grantedFrames > e.grantedFrames {
+		e.grantedFrames = grantedFrames
+	}
+}
+
+// Sent reports the link's cumulative debited totals — the payload of a credit
+// probe.
+func (b *Bank) Sent(peer uint64, method string) (bytes, frames uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(peer, method)
+	return e.sentBytes, e.sentFrames
+}
+
+// Available reports the link's remaining credit (for tests and diagnostics).
+func (b *Bank) Available(peer uint64, method string) (bytes, frames uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(peer, method)
+	if e.grantedBytes > e.sentBytes {
+		bytes = e.grantedBytes - e.sentBytes
+	}
+	if e.grantedFrames > e.sentFrames {
+		frames = e.grantedFrames - e.sentFrames
+	}
+	return bytes, frames
+}
+
+// ShouldProbe rate-limits credit probes on a starved link: it returns true at
+// most once per interval per link (and consumes the slot).
+func (b *Bank) ShouldProbe(peer uint64, method string, now time.Time, interval time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(peer, method)
+	if now.Sub(e.lastProbe) < interval {
+		return false
+	}
+	e.lastProbe = now
+	return true
+}
+
+// Grantor is the receiver-side credit ledger: one entry per (peer, method)
+// link this context receives on.
+type Grantor struct {
+	win   Window
+	mu    sync.Mutex
+	links map[Key]*grantEntry
+}
+
+type grantEntry struct {
+	consumedBytes, consumedFrames uint64 // cumulative totals delivered here
+	grantedBytes, grantedFrames   uint64 // cumulative totals last advertised
+}
+
+// NewGrantor returns a receiver-side ledger matching NewBank's bootstrap:
+// each new link is accounted as already granted one full window.
+func NewGrantor(win Window) *Grantor {
+	return &Grantor{win: win, links: make(map[Key]*grantEntry)}
+}
+
+func (g *Grantor) entry(peer uint64, method string) *grantEntry {
+	k := Key{Peer: peer, Method: method}
+	e := g.links[k]
+	if e == nil {
+		e = &grantEntry{grantedBytes: g.win.Bytes, grantedFrames: g.win.Frames}
+		g.links[k] = e
+	}
+	return e
+}
+
+// dueLocked reports whether a refreshed grant (consumed + window) would
+// advance the advertised total by at least half a window in either dimension.
+// Granting at half-window granularity keeps grant traffic to a few frames per
+// window while the sender never quite runs dry under a steady consumer.
+func (g *Grantor) dueLocked(e *grantEntry) bool {
+	return e.consumedBytes+g.win.Bytes >= e.grantedBytes+(g.win.Bytes+1)/2 ||
+		e.consumedFrames+g.win.Frames >= e.grantedFrames+(g.win.Frames+1)/2
+}
+
+// Consume records delivered traffic on the link and reports whether a grant
+// refresh is due.
+func (g *Grantor) Consume(peer uint64, method string, bytes, frames uint64) (grantDue bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e := g.entry(peer, method)
+	e.consumedBytes += bytes
+	e.consumedFrames += frames
+	return g.dueLocked(e)
+}
+
+// Grant advances the link's advertised totals to consumed + window and
+// returns them — the payload of a grant frame.
+func (g *Grantor) Grant(peer uint64, method string) (bytes, frames uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e := g.entry(peer, method)
+	e.grantedBytes = e.consumedBytes + g.win.Bytes
+	e.grantedFrames = e.consumedFrames + g.win.Frames
+	return e.grantedBytes, e.grantedFrames
+}
+
+// GrantIfDue combines the due check and the grant under one lock, for
+// piggybacking a grant on an outbound frame only when it is worth carrying.
+func (g *Grantor) GrantIfDue(peer uint64, method string) (bytes, frames uint64, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e := g.entry(peer, method)
+	if !g.dueLocked(e) {
+		return 0, 0, false
+	}
+	e.grantedBytes = e.consumedBytes + g.win.Bytes
+	e.grantedFrames = e.consumedFrames + g.win.Frames
+	return e.grantedBytes, e.grantedFrames, true
+}
+
+// Sync reconciles the link with a sender probe carrying cumulative sent
+// totals. Frames the sender debited but the network lost would leak credit
+// forever; adopting max(consumed, sent) heals the leak. The caller follows
+// Sync with a Grant so the starved sender learns its restored window.
+func (g *Grantor) Sync(peer uint64, method string, sentBytes, sentFrames uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e := g.entry(peer, method)
+	if sentBytes > e.consumedBytes {
+		e.consumedBytes = sentBytes
+	}
+	if sentFrames > e.consumedFrames {
+		e.consumedFrames = sentFrames
+	}
+}

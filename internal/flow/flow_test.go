@@ -1,0 +1,175 @@
+package flow
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBankInitialWindowAndExhaustion(t *testing.T) {
+	b := NewBank(Window{Bytes: 100, Frames: 4})
+	for i := 0; i < 4; i++ {
+		if !b.TryAcquire(1, "tcp", 10, 1) {
+			t.Fatalf("acquire %d refused inside the initial window", i)
+		}
+	}
+	// Frame credit exhausted (4 of 4 used) even though bytes remain.
+	if b.TryAcquire(1, "tcp", 10, 1) {
+		t.Fatal("acquire admitted past the frame window")
+	}
+	bytes, frames := b.Available(1, "tcp")
+	if bytes != 60 || frames != 0 {
+		t.Fatalf("Available = (%d, %d), want (60, 0)", bytes, frames)
+	}
+}
+
+func TestBankOvershootGuaranteesProgress(t *testing.T) {
+	b := NewBank(Window{Bytes: 100, Frames: 10})
+	// One message larger than the whole window: admitted (any credit remains),
+	// overdrawing by one message.
+	if !b.TryAcquire(1, "tcp", 350, 1) {
+		t.Fatal("oversized message refused despite available credit")
+	}
+	if b.TryAcquire(1, "tcp", 1, 1) {
+		t.Fatal("acquire admitted while overdrawn")
+	}
+	// A refill past the debt restores flow.
+	b.Refill(1, "tcp", 450, 20)
+	if !b.TryAcquire(1, "tcp", 50, 1) {
+		t.Fatal("acquire refused after refill")
+	}
+}
+
+func TestRefillMaxMergesStaleAndDuplicateGrants(t *testing.T) {
+	b := NewBank(Window{Bytes: 100, Frames: 10})
+	b.Refill(1, "udp", 300, 30)
+	b.Refill(1, "udp", 200, 20) // reordered older grant: ignored
+	b.Refill(1, "udp", 300, 30) // duplicate: ignored
+	bytes, frames := b.Available(1, "udp")
+	if bytes != 300 || frames != 30 {
+		t.Fatalf("Available = (%d, %d), want (300, 30)", bytes, frames)
+	}
+}
+
+func TestBankLinksAreIndependent(t *testing.T) {
+	b := NewBank(Window{Bytes: 10, Frames: 1})
+	if !b.TryAcquire(1, "tcp", 10, 1) {
+		t.Fatal("first link refused")
+	}
+	if b.TryAcquire(1, "tcp", 10, 1) {
+		t.Fatal("exhausted link admitted")
+	}
+	if !b.TryAcquire(2, "tcp", 10, 1) || !b.TryAcquire(1, "udp", 10, 1) {
+		t.Fatal("other links refused: per-link isolation broken")
+	}
+}
+
+func TestShouldProbeRateLimits(t *testing.T) {
+	b := NewBank(Window{Bytes: 1, Frames: 1})
+	t0 := time.Now()
+	if !b.ShouldProbe(1, "tcp", t0, 10*time.Millisecond) {
+		t.Fatal("first probe refused")
+	}
+	if b.ShouldProbe(1, "tcp", t0.Add(5*time.Millisecond), 10*time.Millisecond) {
+		t.Fatal("probe admitted inside the interval")
+	}
+	if !b.ShouldProbe(1, "tcp", t0.Add(11*time.Millisecond), 10*time.Millisecond) {
+		t.Fatal("probe refused after the interval")
+	}
+}
+
+func TestGrantorHalfWindowCadence(t *testing.T) {
+	g := NewGrantor(Window{Bytes: 100, Frames: 100})
+	if g.Consume(1, "tcp", 30, 30) {
+		t.Fatal("grant due below half a window")
+	}
+	if !g.Consume(1, "tcp", 25, 25) {
+		t.Fatal("grant not due past half a window")
+	}
+	bytes, frames := g.Grant(1, "tcp")
+	if bytes != 155 || frames != 155 {
+		t.Fatalf("Grant = (%d, %d), want (155, 155)", bytes, frames)
+	}
+	// Freshly granted: not due again until another half window is consumed.
+	if _, _, ok := g.GrantIfDue(1, "tcp"); ok {
+		t.Fatal("GrantIfDue fired immediately after a grant")
+	}
+	if !g.Consume(1, "tcp", 50, 50) {
+		t.Fatal("grant not due after another half window")
+	}
+}
+
+func TestSyncHealsLostFrameLeak(t *testing.T) {
+	win := Window{Bytes: 100, Frames: 100}
+	b := NewBank(win)
+	g := NewGrantor(win)
+	// Sender debits a full window; the network loses everything, so the
+	// receiver consumes nothing and no grant ever becomes due.
+	if !b.TryAcquire(7, "udp", 60, 60) || !b.TryAcquire(7, "udp", 40, 40) {
+		t.Fatal("initial window refused")
+	}
+	if b.TryAcquire(7, "udp", 1, 1) {
+		t.Fatal("acquire admitted past the window")
+	}
+	if _, _, ok := g.GrantIfDue(7, "udp"); ok {
+		t.Fatal("grant due with nothing consumed")
+	}
+	// Probe: sender's cumulative sent totals reach the receiver.
+	sb, sf := b.Sent(7, "udp")
+	g.Sync(7, "udp", sb, sf)
+	bytes, frames := g.Grant(7, "udp")
+	b.Refill(7, "udp", bytes, frames)
+	if ab, af := b.Available(7, "udp"); ab != 100 || af != 100 {
+		t.Fatalf("after probe/grant: Available = (%d, %d), want (100, 100)", ab, af)
+	}
+}
+
+func TestSteadyStateNeverDeadlocks(t *testing.T) {
+	// Simulated lossless link: every debit is consumed, every due grant is
+	// delivered. The sender must never stall.
+	win := Window{Bytes: 1000, Frames: 100}
+	b := NewBank(win)
+	g := NewGrantor(win)
+	for i := 0; i < 10_000; i++ {
+		if !b.TryAcquire(1, "tcp", 10, 1) {
+			t.Fatalf("iteration %d: sender stalled in a lossless steady state", i)
+		}
+		if g.Consume(1, "tcp", 10, 1) {
+			bytes, frames := g.Grant(1, "tcp")
+			b.Refill(1, "tcp", bytes, frames)
+		}
+	}
+}
+
+func TestConcurrentAccountingConverges(t *testing.T) {
+	win := Window{Bytes: 1 << 20, Frames: 1 << 20}
+	b := NewBank(win)
+	g := NewGrantor(win)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := uint64(0)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := uint64(0)
+			for i := 0; i < 5000; i++ {
+				if b.TryAcquire(1, "mpl", 16, 1) {
+					n += 16
+					if g.Consume(1, "mpl", 16, 1) {
+						bytes, frames := g.Grant(1, "mpl")
+						b.Refill(1, "mpl", bytes, frames)
+					}
+				}
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sb, _ := b.Sent(1, "mpl")
+	if sb != total {
+		t.Fatalf("Sent = %d, want %d: concurrent debits lost", sb, total)
+	}
+}

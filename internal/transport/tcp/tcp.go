@@ -39,12 +39,13 @@ func init() {
 
 // Module is a TCP communication method instance.
 type Module struct {
-	params   transport.Params
-	listen   string
-	nodelay  bool
-	sndbuf   int
-	rcvbuf   int
-	blocking bool
+	params     transport.Params
+	listen     string
+	nodelay    bool
+	sndbuf     int
+	rcvbuf     int
+	maxPending int
+	blocking   bool
 
 	mu       sync.Mutex
 	env      transport.Env
@@ -60,22 +61,26 @@ type Module struct {
 
 // New returns an uninitialized TCP module. Recognized parameters:
 //
-//	listen  — listen address (default "127.0.0.1:0")
-//	nodelay — set TCP_NODELAY on connections (default true)
-//	sndbuf  — socket send buffer size in bytes (0 = OS default)
-//	rcvbuf  — socket receive buffer size in bytes (0 = OS default)
-//	mode    — "poll" (default) or "block"
+//	listen     — listen address (default "127.0.0.1:0")
+//	nodelay    — set TCP_NODELAY on connections (default true)
+//	sndbuf     — socket send buffer size in bytes (0 = OS default)
+//	rcvbuf     — socket receive buffer size in bytes (0 = OS default)
+//	maxpending — per-connection cap on data frames queued behind an
+//	             in-flight write, in bytes (default 8 MiB; -1 = unbounded).
+//	             Control-class frames are never bounded.
+//	mode       — "poll" (default) or "block"
 func New(p transport.Params) *Module {
 	if p == nil {
 		p = transport.Params{}
 	}
 	return &Module{
-		params:   p,
-		listen:   p.Str("listen", "127.0.0.1:0"),
-		nodelay:  p.Bool("nodelay", true),
-		sndbuf:   p.Int("sndbuf", 0),
-		rcvbuf:   p.Int("rcvbuf", 0),
-		blocking: p.Str("mode", "poll") == "block",
+		params:     p,
+		listen:     p.Str("listen", "127.0.0.1:0"),
+		nodelay:    p.Bool("nodelay", true),
+		sndbuf:     p.Int("sndbuf", 0),
+		rcvbuf:     p.Int("rcvbuf", 0),
+		maxPending: p.Int("maxpending", 8<<20),
+		blocking:   p.Str("mode", "poll") == "block",
 	}
 }
 
@@ -189,7 +194,7 @@ func (m *Module) Dial(remote transport.Descriptor) (transport.Conn, error) {
 		return nil, fmt.Errorf("tcp: dial %s: %w", remote.Attr("addr"), err)
 	}
 	m.tune(c)
-	oc := newOutConn(c)
+	oc := newOutConn(c, m.maxPending)
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -313,6 +318,23 @@ func (m *Module) DetachReactor() {
 // MaxMessage implements transport.SizeLimiter: a stream carries any legal
 // wire frame, so the only bound is the wire format's own.
 func (m *Module) MaxMessage() int { return wire.MaxFrameLen }
+
+// TransportStats implements transport.StatsReporter: the bytes currently
+// queued behind in-flight writes across all outbound connections — the
+// send-side backlog a slow peer is costing this context right now.
+func (m *Module) TransportStats() map[string]uint64 {
+	m.mu.Lock()
+	out := make([]*outConn, 0, len(m.outbound))
+	for oc := range m.outbound {
+		out = append(out, oc)
+	}
+	m.mu.Unlock()
+	var pend uint64
+	for _, oc := range out {
+		pend += oc.pendingBytes()
+	}
+	return map[string]uint64{"tcp.pending.bytes": pend}
+}
 
 // PollCostHint implements transport.CostHinter: a readiness scan costs on the
 // order of a system call per connection, far above an in-memory queue check.
@@ -546,9 +568,19 @@ func (ic *inConn) extract(sink transport.Sink) int {
 // a write is in flight append their length-prefixed frames to a pending
 // queue, and the writer drains that queue — one syscall per batch — before
 // retiring. Queue order is append order under oc.mu, so per-connection
-// frame ordering is preserved.
+// frame ordering is preserved within each class.
+//
+// The queue is split by traffic class. Control-class frames (read straight
+// off the encoded flags byte, wire.FrameClass) go to pendingCtl, which is
+// never bounded and drains before any data batch — a credit grant or health
+// probe is on the socket ahead of however much bulk backlog a stalled peer
+// has built up. Everything else goes to pendingData, which is capped at
+// maxPending bytes: a sender that would overflow it blocks until the writer
+// flushes, so a slow peer surfaces as sender backpressure instead of
+// unbounded process memory.
 type outConn struct {
-	c net.Conn
+	c          net.Conn
+	maxPending int // pendingData byte cap; <=0 = unbounded
 
 	// unregister removes this conn from the module's outbound set so a later
 	// Dial builds a fresh connection instead of finding a poisoned one; set
@@ -558,19 +590,22 @@ type outConn struct {
 	teardown   sync.Once
 	closeErr   error
 
-	mu      sync.Mutex
-	flushed sync.Cond // broadcast after every drain pass and on error
-	writing bool      // a sender goroutine currently owns the socket
-	pending []byte    // length-prefixed frames queued behind the writer
-	queued  uint64    // cumulative bytes ever appended to pending
-	done    uint64    // cumulative pending bytes flushed (or abandoned)
-	err     error     // sticky first write error
-	hdr     [4]byte   // writer-owned length prefix for the vectored path
-	iov     net.Buffers
+	mu          sync.Mutex
+	flushed     sync.Cond // broadcast after every drain pass and on error
+	writing     bool      // a sender goroutine currently owns the socket
+	pendingCtl  []byte    // length-prefixed control frames queued behind the writer
+	pendingData []byte    // length-prefixed data frames queued behind the writer
+	queuedCtl   uint64    // cumulative bytes ever appended to pendingCtl
+	queuedData  uint64    // cumulative bytes ever appended to pendingData
+	doneCtl     uint64    // cumulative pendingCtl bytes flushed
+	doneData    uint64    // cumulative pendingData bytes flushed
+	err         error     // sticky first write error
+	hdr         [4]byte   // writer-owned length prefix for the vectored path
+	iov         net.Buffers
 }
 
-func newOutConn(c net.Conn) *outConn {
-	oc := &outConn{c: c}
+func newOutConn(c net.Conn, maxPending int) *outConn {
+	oc := &outConn{c: c, maxPending: maxPending}
 	oc.flushed.L = &oc.mu
 	return oc
 }
@@ -581,53 +616,68 @@ func (oc *outConn) Send(frame []byte) error {
 		return fmt.Errorf("tcp: frame of %d bytes exceeds wire.MaxFrameLen: %w",
 			len(frame), transport.ErrTooLarge)
 	}
+	ctl := wire.FrameClass(frame) == wire.ClassControl
 	oc.mu.Lock()
-	if oc.err != nil {
-		err := oc.err
-		oc.mu.Unlock()
-		oc.tearDown()
-		return err
-	}
-	if !oc.writing {
-		// Fast path: no write in flight. Claim the socket and write this
-		// frame with a single vectored syscall, borrowing the caller's
-		// slice (no copy). hdr/iov are owned by the writer, so mutating
-		// them after unlocking is safe.
-		oc.writing = true
-		binary.BigEndian.PutUint32(oc.hdr[:], uint32(len(frame)))
-		oc.iov = append(oc.iov[:0], oc.hdr[:], frame)
-		oc.mu.Unlock()
-		_, werr := oc.iov.WriteTo(oc.c)
-		oc.iov = oc.iov[:0] // drop the borrowed frame reference
-		oc.mu.Lock()
-		if werr != nil && oc.err == nil {
-			oc.err = werr
-		}
-		oc.drainLocked() // flush whatever queued up while we wrote
-		failed := oc.err != nil
-		oc.mu.Unlock()
-		if failed {
+	for {
+		if oc.err != nil {
+			err := oc.err
+			oc.mu.Unlock()
 			oc.tearDown()
+			return err
 		}
-		return werr
+		if !oc.writing {
+			// Fast path: no write in flight. Claim the socket and write this
+			// frame with a single vectored syscall, borrowing the caller's
+			// slice (no copy). hdr/iov are owned by the writer, so mutating
+			// them after unlocking is safe.
+			oc.writing = true
+			binary.BigEndian.PutUint32(oc.hdr[:], uint32(len(frame)))
+			oc.iov = append(oc.iov[:0], oc.hdr[:], frame)
+			oc.mu.Unlock()
+			_, werr := oc.iov.WriteTo(oc.c)
+			oc.iov = oc.iov[:0] // drop the borrowed frame reference
+			oc.mu.Lock()
+			if werr != nil && oc.err == nil {
+				oc.err = werr
+			}
+			oc.drainLocked() // flush whatever queued up while we wrote
+			failed := oc.err != nil
+			oc.mu.Unlock()
+			if failed {
+				oc.tearDown()
+			}
+			return werr
+		}
+		if ctl || oc.maxPending <= 0 || len(oc.pendingData) == 0 ||
+			len(oc.pendingData)+4+len(frame) <= oc.maxPending {
+			break
+		}
+		// Data queue at capacity: wait for the writer to flush a batch. The
+		// empty-queue admission above lets a single frame larger than the
+		// whole cap through once the queue drains, guaranteeing progress.
+		oc.flushed.Wait()
 	}
 	// Slow path: a write is in flight. Queue the frame (copying — the
-	// caller reclaims its slice when Send returns) and wait until the
-	// writer has flushed it.
-	if oc.pending == nil {
-		oc.pending = bufpool.Get(4 + len(frame))[:0]
+	// caller reclaims its slice when Send returns) into its class queue and
+	// wait until the writer has flushed it.
+	q, queued, done := &oc.pendingData, &oc.queuedData, &oc.doneData
+	if ctl {
+		q, queued, done = &oc.pendingCtl, &oc.queuedCtl, &oc.doneCtl
+	}
+	if *q == nil {
+		*q = bufpool.Get(4 + len(frame))[:0]
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	oc.pending = append(oc.pending, hdr[:]...)
-	oc.pending = append(oc.pending, frame...)
-	oc.queued += uint64(4 + len(frame))
-	myEnd := oc.queued
-	for oc.err == nil && oc.done < myEnd {
+	*q = append(*q, hdr[:]...)
+	*q = append(*q, frame...)
+	*queued += uint64(4 + len(frame))
+	myEnd := *queued
+	for oc.err == nil && *done < myEnd {
 		oc.flushed.Wait()
 	}
 	err := oc.err
-	if oc.done >= myEnd {
+	if *done >= myEnd {
 		// Our bytes reached the socket before any failure; later senders'
 		// errors are not ours to report.
 		err = nil
@@ -638,6 +688,14 @@ func (oc *outConn) Send(frame []byte) error {
 		oc.tearDown()
 	}
 	return err
+}
+
+// pendingBytes reports the bytes currently queued behind the writer, both
+// classes (for the module's TransportStats).
+func (oc *outConn) pendingBytes() uint64 {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return uint64(len(oc.pendingCtl) + len(oc.pendingData))
 }
 
 // tearDown closes the socket and unregisters the conn from its module, once.
@@ -654,14 +712,22 @@ func (oc *outConn) tearDown() error {
 	return oc.closeErr
 }
 
-// drainLocked writes queued frames until the queue is empty, then retires
-// the writer. Called with oc.mu held by the current writer; the lock is
+// drainLocked writes queued frames until both class queues are empty, then
+// retires the writer. Each iteration takes the control batch if there is
+// one, the data batch otherwise: control frames queued during a data write
+// are on the socket before the next data batch, no matter how deep the data
+// backlog runs. Called with oc.mu held by the current writer; the lock is
 // dropped around each syscall so senders can keep queueing into the next
 // batch.
 func (oc *outConn) drainLocked() {
-	for oc.err == nil && len(oc.pending) > 0 {
-		batch := oc.pending
-		oc.pending = nil
+	for oc.err == nil && (len(oc.pendingCtl) > 0 || len(oc.pendingData) > 0) {
+		batch, done := oc.pendingCtl, &oc.doneCtl
+		if len(batch) > 0 {
+			oc.pendingCtl = nil
+		} else {
+			batch, done = oc.pendingData, &oc.doneData
+			oc.pendingData = nil
+		}
 		oc.mu.Unlock()
 		_, werr := oc.c.Write(batch)
 		oc.mu.Lock()
@@ -670,16 +736,22 @@ func (oc *outConn) drainLocked() {
 		} else if werr == nil {
 			// done only advances on success: a waiter whose bytes were in a
 			// failed batch must see the error, not a false success.
-			oc.done += uint64(len(batch))
+			*done += uint64(len(batch))
 		}
 		bufpool.Put(batch)
 		oc.flushed.Broadcast()
 	}
-	if oc.err != nil && len(oc.pending) > 0 {
-		// Abandon the queue: waiters whose bytes never reached the socket
-		// see oc.done stop short of their offset and report oc.err.
-		bufpool.Put(oc.pending)
-		oc.pending = nil
+	if oc.err != nil {
+		// Abandon both queues: waiters whose bytes never reached the socket
+		// see their done counter stop short of their offset and report oc.err.
+		if len(oc.pendingCtl) > 0 {
+			bufpool.Put(oc.pendingCtl)
+			oc.pendingCtl = nil
+		}
+		if len(oc.pendingData) > 0 {
+			bufpool.Put(oc.pendingData)
+			oc.pendingData = nil
+		}
 	}
 	oc.writing = false
 	oc.flushed.Broadcast()

@@ -245,6 +245,15 @@ type SizeLimiter interface {
 	MaxMessage() int
 }
 
+// StatsReporter is an optional capability: a module that exposes internal
+// levels and totals (queue depths, buffered bytes) for the context's enquiry
+// snapshot. Keys should be prefixed with the method name ("tcp.pending.bytes")
+// so they merge into the context's counter namespace without collisions.
+// TransportStats must be safe for concurrent use.
+type StatsReporter interface {
+	TransportStats() map[string]uint64
+}
+
 // Errors shared by module implementations.
 var (
 	// ErrNotApplicable reports a Dial on a descriptor the module cannot reach.

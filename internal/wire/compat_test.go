@@ -129,6 +129,104 @@ func TestDecodeRejectsBadFlags(t *testing.T) {
 	}
 }
 
+// TestCreditExtensionRoundTrip pins the credit extension layout: cumulative
+// byte and frame totals after the frag extension, class bits in the flags
+// byte, and a class-only frame (no extension payload at all) surviving the
+// round trip.
+func TestCreditExtensionRoundTrip(t *testing.T) {
+	f := Frame{
+		Type: TypeControl, Flags: FlagCredit | ClassFlags(ClassControl),
+		DestContext: 1, DestEndpoint: 0, SrcContext: 3,
+		CreditBytes: 1 << 40, CreditFrames: 512,
+		Handler: "mpl", Payload: []byte{0xAA},
+	}
+	enc := f.Encode()
+	if enc[1] != versionExt {
+		t.Fatalf("credit frame encoded as version %d, want %d", enc[1], versionExt)
+	}
+	if len(enc) != f.EncodedLen() {
+		t.Fatalf("EncodedLen %d != len(Encode()) %d", f.EncodedLen(), len(enc))
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decoding credit frame: %v", err)
+	}
+	if !got.HasCredit() || got.CreditBytes != 1<<40 || got.CreditFrames != 512 {
+		t.Errorf("credit did not round-trip: bytes=%d frames=%d", got.CreditBytes, got.CreditFrames)
+	}
+	if got.Class() != ClassControl {
+		t.Errorf("Class() = %d, want ClassControl", got.Class())
+	}
+	if FrameClass(enc) != ClassControl {
+		t.Errorf("FrameClass = %d, want ClassControl", FrameClass(enc))
+	}
+
+	// Class bits alone: a versionExt header whose only extension content is
+	// the flags byte itself.
+	bulk := Frame{Type: TypeRSR, Flags: ClassFlags(ClassBulk),
+		DestContext: 5, DestEndpoint: 6, SrcContext: 7, Handler: "h", Payload: []byte{1}}
+	benc := bulk.Encode()
+	bgot, err := Decode(benc)
+	if err != nil {
+		t.Fatalf("decoding class-only frame: %v", err)
+	}
+	if bgot.Class() != ClassBulk || bgot.HasCredit() || bgot.HasTrace() {
+		t.Errorf("class-only frame decoded wrong: %+v", bgot)
+	}
+	if FrameClass(benc) != ClassBulk {
+		t.Errorf("FrameClass = %d, want ClassBulk", FrameClass(benc))
+	}
+	// PatchDest must respect the extended layout on class-tagged frames.
+	PatchDest(benc, 90, 91)
+	pg, err := Decode(benc)
+	if err != nil || pg.DestContext != 90 || pg.DestEndpoint != 91 || pg.Class() != ClassBulk {
+		t.Errorf("PatchDest on class-tagged frame: %+v, err=%v", pg, err)
+	}
+
+	// All three extensions together, in flag-bit order.
+	all := Frame{Type: TypeRSR, Flags: FlagTrace | FlagFrag | FlagCredit | ClassFlags(ClassBulk),
+		Trace: [16]byte{9}, FragID: 4, FragIndex: 1, FragTotal: 3,
+		CreditBytes: 77, CreditFrames: 2, Handler: "x", Payload: []byte{3}}
+	ag, err := Decode(all.Encode())
+	if err != nil {
+		t.Fatalf("decoding trace+frag+credit frame: %v", err)
+	}
+	if ag.Trace != all.Trace || ag.FragID != 4 || ag.CreditBytes != 77 || ag.Class() != ClassBulk {
+		t.Errorf("combined extensions decoded wrong: %+v", ag)
+	}
+}
+
+// TestDecodeRejectsReservedClass pins class value 3 as undecodable: it is
+// reserved so a future revision can attach an extension to it.
+func TestDecodeRejectsReservedClass(t *testing.T) {
+	enc := (&Frame{Type: TypeRSR, Flags: FlagTrace, Handler: "h"}).Encode()
+	enc[3] |= ClassMask
+	if _, err := Decode(enc); !errors.Is(err, ErrBadFlags) {
+		t.Errorf("reserved class 3: err = %v, want ErrBadFlags", err)
+	}
+}
+
+// TestFrameClassOnV1 pins that v1 (flagless) and malformed byte streams read
+// as ClassNormal through the transport-facing fast classifier.
+func TestFrameClassOnV1(t *testing.T) {
+	v1 := encodeV1ByHand(TypeRSR, 1, 2, 3, "h", []byte("p"))
+	if got := FrameClass(v1); got != ClassNormal {
+		t.Errorf("FrameClass(v1) = %d, want ClassNormal", got)
+	}
+	if got := FrameClass([]byte{1, 2}); got != ClassNormal {
+		t.Errorf("FrameClass(garbage) = %d, want ClassNormal", got)
+	}
+}
+
+func TestDecodeTruncatedCreditExtension(t *testing.T) {
+	enc := (&Frame{Type: TypeControl, Flags: FlagCredit, CreditBytes: 1, CreditFrames: 2,
+		Handler: "handler"}).Encode()
+	cut := enc[:headerFixed+1+8] // inside the credit extension
+	if _, err := Decode(cut); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("truncated credit ext: err = %v, want ErrShortFrame", err)
+	}
+}
+
 func TestDecodeTruncatedTraceExtension(t *testing.T) {
 	enc := (&Frame{Type: TypeRSR, Flags: FlagTrace, Handler: "handler", Payload: []byte{1, 2}}).Encode()
 	// Cut inside the trace extension.

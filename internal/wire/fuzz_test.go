@@ -34,6 +34,20 @@ func FuzzDecode(f *testing.F) {
 	badFrag := fragged.Encode()
 	badFrag[headerFixed+1+8+4+3] = 0 // FragTotal -> 0
 	f.Add(badFrag)
+	// Credit-extension and class-bit seeds: a credit grant, a class-only
+	// frame (flags byte but zero extension payload), all extensions at once,
+	// and the reserved class value, steering the fuzzer into the FlagCredit
+	// parse path and the class validation.
+	f.Add((&Frame{Type: TypeControl, Flags: FlagCredit | ClassFlags(ClassControl),
+		CreditBytes: 1 << 20, CreditFrames: 64, Handler: "credit"}).Encode())
+	f.Add((&Frame{Type: TypeRSR, Flags: ClassFlags(ClassBulk),
+		Handler: "bulk", Payload: []byte{7}}).Encode())
+	f.Add((&Frame{Type: TypeRSR, Flags: FlagTrace | FlagFrag | FlagCredit | ClassFlags(ClassBulk),
+		Trace: [16]byte{3}, FragID: 1, FragIndex: 0, FragTotal: 2,
+		CreditBytes: 9, CreditFrames: 1, Handler: "all", Payload: []byte{8}}).Encode())
+	reservedClass := (&Frame{Type: TypeRSR, Flags: FlagTrace, Handler: "r"}).Encode()
+	reservedClass[3] |= ClassMask
+	f.Add(reservedClass)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := Decode(data)
 		if err != nil {

@@ -73,6 +73,10 @@ const (
 	// fragment index (4), fragment count (4).
 	fragExtLen = 8 + 4 + 4
 
+	// creditExtLen is the size of the credit extension: cumulative granted
+	// (or probed) byte total (8) and frame total (8).
+	creditExtLen = 8 + 8
+
 	// MaxFrameLen is the largest encoded frame any version can produce:
 	// extended fixed header, maximal handler name, every extension, payload
 	// length prefix, and maximal payload. Stream and datagram transports use
@@ -80,7 +84,7 @@ const (
 	// (MaxPayload plus a hand-picked slack) undercounted the header and
 	// could kill a connection carrying a legal frame with a maximal handler
 	// name.
-	MaxFrameLen = headerFixed + 1 + traceExtLen + fragExtLen + MaxHandlerLen + 4 + MaxPayload
+	MaxFrameLen = headerFixed + 1 + traceExtLen + fragExtLen + creditExtLen + MaxHandlerLen + 4 + MaxPayload
 )
 
 // Header extension flags (versionExt frames only).
@@ -97,11 +101,60 @@ const (
 	// payload; the receiving context reassembles chunks in index order.
 	FlagFrag = byte(1 << 1)
 
+	// FlagCredit marks a flow-control credit extension: two cumulative
+	// uint64 totals — bytes then frames — following the fragment extension
+	// (flag-bit order). On a control frame they are a grant or probe (the
+	// frame's DestEndpoint discriminates); piggybacked on a normal frame
+	// they are a grant for the reverse direction of the carrying link.
+	FlagCredit = byte(1 << 2)
+
+	// classShift/ClassMask place the two-bit priority class in the flags
+	// byte, bits 3-4. Class bits select no extension — they change frame
+	// treatment (dispatch lane, shed policy), not header length — but a
+	// nonzero class still forces the versionExt header since v1 has no flags
+	// byte. Bits 5-7 stay reserved and are rejected as unknown.
+	classShift = 3
+	ClassMask  = byte(3 << classShift)
+
 	// knownFlags is the set of flags this decoder understands. Unknown flags
 	// change the header length, so a frame carrying any is undecodable and
 	// rejected rather than misparsed.
-	knownFlags = FlagTrace | FlagFrag
+	knownFlags = FlagTrace | FlagFrag | FlagCredit | ClassMask
 )
+
+// Class is a frame's priority class, carried in the flags byte (bits 3-4).
+// The zero value is ClassNormal, which encodes as no class bits at all — so
+// class-less senders produce v1-compatible frames.
+type Class byte
+
+const (
+	// ClassNormal is ordinary RSR traffic (the default).
+	ClassNormal Class = 0
+	// ClassControl is core-internal or latency-critical traffic — health
+	// probes, credit grants, RPC replies. Control frames bypass credit
+	// debiting, use a dedicated dispatch lane, and are never shed.
+	ClassControl Class = 1
+	// ClassBulk is throughput traffic that overload policies shed first:
+	// no-credit sends fail immediately instead of blocking, and receivers
+	// drop bulk frames when lane queues or reassembly budgets pass their
+	// high-water marks.
+	ClassBulk Class = 2
+
+	// class value 3 is reserved; the decoder rejects it as ErrBadFlags.
+)
+
+// ClassFlags returns the flag bits encoding the class (0 for ClassNormal).
+func ClassFlags(c Class) byte { return byte(c) << classShift }
+
+// FrameClass reports an encoded frame's priority class without a full decode,
+// for transports ordering queued frames by class. Anything that is not a
+// well-formed versionExt header — v1 frames included — is ClassNormal.
+func FrameClass(p []byte) Class {
+	if len(p) < 4 || p[0] != magic || p[1] != versionExt {
+		return ClassNormal
+	}
+	return Class((p[3] & ClassMask) >> classShift)
+}
 
 // Errors returned by frame decoding.
 var (
@@ -139,6 +192,12 @@ type Frame struct {
 	// FragTotal is the number of fragments in the logical message (≥ 1 when
 	// FlagFrag is set).
 	FragTotal uint32
+	// CreditBytes and CreditFrames are the cumulative flow-control totals
+	// carried by the FlagCredit extension (0 when the flag is absent). On a
+	// grant they are totals the receiver has granted; on a probe, totals the
+	// sender has debited.
+	CreditBytes  uint64
+	CreditFrames uint64
 	// Handler names the remote handler to invoke.
 	Handler string
 	// Payload is the encoded argument buffer (see internal/buffer).
@@ -150,6 +209,12 @@ func (f *Frame) HasTrace() bool { return f.Flags&FlagTrace != 0 }
 
 // HasFrag reports whether the frame is a fragment of a larger message.
 func (f *Frame) HasFrag() bool { return f.Flags&FlagFrag != 0 }
+
+// HasCredit reports whether the frame carries the credit extension.
+func (f *Frame) HasCredit() bool { return f.Flags&FlagCredit != 0 }
+
+// Class reports the frame's priority class from its flag bits.
+func (f *Frame) Class() Class { return Class((f.Flags & ClassMask) >> classShift) }
 
 // extLen reports the total length of the extensions selected by flags,
 // including the flags byte itself (0 for a v1 frame with no flags).
@@ -163,6 +228,9 @@ func extLen(flags byte) int {
 	}
 	if flags&FlagFrag != 0 {
 		n += fragExtLen
+	}
+	if flags&FlagCredit != 0 {
+		n += creditExtLen
 	}
 	return n
 }
@@ -215,6 +283,9 @@ type Ext struct {
 	FragID    uint64
 	FragIndex uint32
 	FragTotal uint32
+	// CreditBytes and CreditFrames fill the FlagCredit extension.
+	CreditBytes  uint64
+	CreditFrames uint64
 }
 
 // EncodeHeaderExt is EncodeHeader for a frame carrying header extensions:
@@ -243,6 +314,11 @@ func EncodeHeaderExt(dst []byte, typ, flags byte, destCtx, destEP, srcCtx uint64
 		binary.BigEndian.PutUint32(dst[n+8:], ext.FragIndex)
 		binary.BigEndian.PutUint32(dst[n+12:], ext.FragTotal)
 		n += fragExtLen
+	}
+	if flags&FlagCredit != 0 {
+		binary.BigEndian.PutUint64(dst[n:], ext.CreditBytes)
+		binary.BigEndian.PutUint64(dst[n+8:], ext.CreditFrames)
+		n += creditExtLen
 	}
 	n += copy(dst[n:], handler)
 	binary.BigEndian.PutUint32(dst[n:], uint32(payloadLen))
@@ -279,7 +355,8 @@ func (f *Frame) Encode() []byte {
 func (f *Frame) EncodeTo(dst []byte) int {
 	n := EncodeHeaderExt(dst, f.Type, f.Flags,
 		f.DestContext, f.DestEndpoint, f.SrcContext,
-		Ext{Trace: f.Trace, FragID: f.FragID, FragIndex: f.FragIndex, FragTotal: f.FragTotal},
+		Ext{Trace: f.Trace, FragID: f.FragID, FragIndex: f.FragIndex, FragTotal: f.FragTotal,
+			CreditBytes: f.CreditBytes, CreditFrames: f.CreditFrames},
 		f.Handler, len(f.Payload))
 	n += copy(dst[n:], f.Payload)
 	return n
@@ -315,6 +392,7 @@ func DecodeInto(f *Frame, p []byte) error {
 		f.Flags = 0
 		f.Trace = [16]byte{}
 		f.FragID, f.FragIndex, f.FragTotal = 0, 0, 0
+		f.CreditBytes, f.CreditFrames = 0, 0
 		f.Type = p[2]
 		f.DestContext = binary.BigEndian.Uint64(p[3:])
 		f.DestEndpoint = binary.BigEndian.Uint64(p[11:])
@@ -330,6 +408,11 @@ func DecodeInto(f *Frame, p []byte) error {
 		// encoder, and unknown flag bits make the header length ambiguous:
 		// reject both rather than misparse.
 		if flags == 0 || flags&^knownFlags != 0 {
+			return ErrBadFlags
+		}
+		if flags&ClassMask == ClassMask {
+			// Class value 3 is reserved: reject now so it can later select an
+			// extension without old decoders misparsing the header.
 			return ErrBadFlags
 		}
 		f.Flags = flags
@@ -364,6 +447,16 @@ func DecodeInto(f *Frame, p []byte) error {
 			n += fragExtLen
 		} else {
 			f.FragID, f.FragIndex, f.FragTotal = 0, 0, 0
+		}
+		if flags&FlagCredit != 0 {
+			if len(p) < n+creditExtLen+4 {
+				return ErrShortFrame
+			}
+			f.CreditBytes = binary.BigEndian.Uint64(p[n:])
+			f.CreditFrames = binary.BigEndian.Uint64(p[n+8:])
+			n += creditExtLen
+		} else {
+			f.CreditBytes, f.CreditFrames = 0, 0
 		}
 	default:
 		return ErrBadVersion

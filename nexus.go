@@ -96,6 +96,13 @@ type (
 	// FragConfig tunes the receive-side bulk-message reassembler
 	// (Options.Frag): partial-message TTL and buffering budgets.
 	FragConfig = core.FragConfig
+	// FlowConfig enables and tunes credit-based per-link flow control
+	// (Options.Flow): receiver-advertised byte/frame windows, the sender's
+	// bounded wait for credit, and the idle-link probe interval.
+	FlowConfig = core.FlowConfig
+	// Class is an RSR's priority class, carried in the wire header and used
+	// by the dispatch lanes and the load-shedding policy (Startpoint.SetClass).
+	Class = core.Class
 	// ObserveConfig configures a context's observability subsystem
 	// (latency histograms, RSR tracing) at construction.
 	ObserveConfig = core.ObserveConfig
@@ -164,6 +171,14 @@ const (
 	DispatchInline = core.DispatchInline
 )
 
+// RSR priority classes. Control preempts normal traffic on send queues and
+// dispatch lanes and is never shed; bulk is shed first under overload.
+const (
+	ClassNormal  = core.ClassNormal
+	ClassControl = core.ClassControl
+	ClassBulk    = core.ClassBulk
+)
+
 // Core constructors, selection policies, and helpers.
 var (
 	// NewContext creates a context and initializes its modules.
@@ -208,6 +223,10 @@ var (
 	// payload over Options.MaxMessageSize, or a frame over the selected
 	// method's limit on a direct transport send.
 	ErrTooLarge = transport.ErrTooLarge
+	// ErrNoCredit reports an RSR refused by credit-based flow control: the
+	// link's receive window is exhausted and the send's class or the
+	// configured block timeout did not permit waiting for a refill.
+	ErrNoCredit = core.ErrNoCredit
 )
 
 // Typed message buffers (internal/buffer).
