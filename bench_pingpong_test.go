@@ -1,0 +1,108 @@
+package nexus_test
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"nexus"
+	"nexus/internal/transport/shm"
+)
+
+// BenchmarkPingPongByMethod runs the same 64-byte round trip over every real
+// point-to-point method — the paper's "fastest mechanism the link supports"
+// claim as a measured matrix. ns/op is the full round trip; p50-µs/p99-µs
+// come from the obsv send-stage histogram (per one-way send). EXPERIMENTS.md
+// records the table.
+func BenchmarkPingPongByMethod(b *testing.B) {
+	for _, method := range []string{"inproc", "shm", "tcp", "udp", "rudp"} {
+		b.Run(method, func(b *testing.B) {
+			if method == "shm" && !shm.Supported() {
+				b.Skip("shm transport requires linux")
+			}
+			benchPingPongMethod(b, method, 64)
+		})
+	}
+}
+
+// methodTable builds a single-method table; shm gets an isolated segment
+// directory per context.
+func methodTable(b *testing.B, method string) []nexus.MethodConfig {
+	mc := nexus.MethodConfig{Name: method}
+	if method == "shm" {
+		mc.Params = nexus.Params{"dir": b.TempDir()}
+	}
+	return []nexus.MethodConfig{mc}
+}
+
+// benchPingPongMethod is realPingPong generalized over the method under test,
+// with stats enabled so the histogram quantiles can be reported.
+func benchPingPongMethod(b *testing.B, method string, size int) {
+	mk := func() *nexus.Context {
+		c, err := nexus.NewContext(nexus.Options{
+			Methods: methodTable(b, method),
+			Observe: nexus.ObserveConfig{Stats: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	a, c := mk(), mk()
+	defer a.Close()
+	defer c.Close()
+
+	var aGot, cGot atomic.Int64
+	epA := a.NewEndpoint(nexus.WithHandler(func(*nexus.Endpoint, *nexus.Buffer) { aGot.Add(1) }))
+	epC := c.NewEndpoint(nexus.WithHandler(func(*nexus.Endpoint, *nexus.Buffer) { cGot.Add(1) }))
+	spToC, err := nexus.TransferStartpoint(epC.NewStartpoint(), a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spToA, err := nexus.TransferStartpoint(epA.NewStartpoint(), c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if m, err := spToC.SelectMethod(); err != nil || m != method {
+		b.Fatalf("selection: %v %v, want %s", m, err, method)
+	}
+
+	payload := nexus.NewBuffer(size)
+	payload.PutRaw(make([]byte, size))
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			for cGot.Load() < int64(i+1) {
+				if c.Poll() == 0 {
+					runtime.Gosched()
+				}
+			}
+			if err := spToA.RSR("", payload); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := spToC.RSR("", payload); err != nil {
+			b.Fatal(err)
+		}
+		for aGot.Load() < int64(i+1) {
+			if a.Poll() == 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+	b.StopTimer()
+	<-done
+
+	for _, l := range a.Observe().Latencies {
+		if l.Method == method && l.Stage == nexus.StageSend.String() {
+			b.ReportMetric(float64(l.P50.Nanoseconds())/1e3, "p50-µs")
+			b.ReportMetric(float64(l.P99.Nanoseconds())/1e3, "p99-µs")
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// nexus-bench runs the performance benchmarks that track the library's
+// trajectory — the cross-method ping-pong matrix plus the shared-memory
+// module's raw ring numbers — and writes them machine-readable so CI can
+// archive one JSON artifact per run and diff regressions across commits.
+//
+//	nexus-bench                  # writes BENCH_8.json in the current dir
+//	nexus-bench -o perf.json
+//	nexus-bench -quick           # ~10× shorter runs for smoke checks
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nexus"
+	"nexus/internal/transport"
+	"nexus/internal/transport/shm"
+)
+
+var (
+	out   = flag.String("o", "BENCH_8.json", "output file")
+	quick = flag.Bool("quick", false, "shorter runs (CI smoke)")
+)
+
+// Result is one benchmark row: ns/op always, MB/s when the benchmark
+// processes bytes.
+type Result struct {
+	Name    string  `json:"name"`
+	N       int     `json:"n"`
+	NsPerOp float64 `json:"ns_per_op"`
+	MBPerS  float64 `json:"mb_per_s,omitempty"`
+	Skipped bool    `json:"skipped,omitempty"`
+	Failed  bool    `json:"failed,omitempty"`
+}
+
+// Report is the whole artifact, with enough machine context to compare runs.
+type Report struct {
+	Schema  int      `json:"schema"`
+	GOOS    string   `json:"goos"`
+	GOARCH  string   `json:"goarch"`
+	NumCPU  int      `json:"num_cpu"`
+	Date    string   `json:"date"`
+	Results []Result `json:"benchmarks"`
+}
+
+func main() {
+	testing.Init()
+	flag.Parse()
+	benchtime := "1s"
+	if *quick {
+		benchtime = "100ms"
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		log.Fatal(err)
+	}
+
+	rep := Report{
+		Schema: 1,
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		Date:   time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, method := range []string{"inproc", "shm", "tcp", "udp", "rudp"} {
+		if method == "shm" && !shm.Supported() {
+			rep.Results = append(rep.Results, Result{Name: "pingpong/" + method, Skipped: true})
+			continue
+		}
+		m := method
+		rep.Results = append(rep.Results, run("pingpong/"+m, func(b *testing.B) {
+			facadePingPong(b, m, 64)
+		}))
+	}
+
+	if shm.Supported() {
+		rep.Results = append(rep.Results,
+			run("shm/ring-pingpong/64B", func(b *testing.B) { shmRingPingPong(b, 64) }),
+			run("shm/bulk-bandwidth/256KiB", shmBulk),
+		)
+	} else {
+		rep.Results = append(rep.Results,
+			Result{Name: "shm/ring-pingpong/64B", Skipped: true},
+			Result{Name: "shm/bulk-bandwidth/256KiB", Skipped: true})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		switch {
+		case r.Skipped:
+			fmt.Printf("%-28s skipped\n", r.Name)
+		case r.Failed:
+			fmt.Printf("%-28s FAILED\n", r.Name)
+		default:
+			if r.MBPerS > 0 {
+				fmt.Printf("%-28s %12.0f ns/op %10.1f MB/s\n", r.Name, r.NsPerOp, r.MBPerS)
+			} else {
+				fmt.Printf("%-28s %12.0f ns/op\n", r.Name, r.NsPerOp)
+			}
+		}
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// run executes one benchmark body and converts the result to a row. A body
+// that b.Fatal'd yields N==0 and is marked failed.
+func run(name string, body func(b *testing.B)) Result {
+	r := testing.Benchmark(body)
+	if r.N == 0 {
+		return Result{Name: name, Failed: true}
+	}
+	res := Result{Name: name, N: r.N, NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N)}
+	if r.Bytes > 0 {
+		res.MBPerS = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	return res
+}
+
+// facadePingPong is the end-to-end round trip over one method: two contexts,
+// a transferred startpoint each way, RSR + poll until the echo lands.
+func facadePingPong(b *testing.B, method string, size int) {
+	mc := nexus.MethodConfig{Name: method}
+	if method == "shm" {
+		dir, err := os.MkdirTemp("", "nexus-bench-shm-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		mc.Params = nexus.Params{"dir": dir}
+	}
+	mk := func() *nexus.Context {
+		c, err := nexus.NewContext(nexus.Options{Methods: []nexus.MethodConfig{mc}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	a, c := mk(), mk()
+	defer a.Close()
+	defer c.Close()
+
+	var aGot, cGot atomic.Int64
+	epA := a.NewEndpoint(nexus.WithHandler(func(*nexus.Endpoint, *nexus.Buffer) { aGot.Add(1) }))
+	epC := c.NewEndpoint(nexus.WithHandler(func(*nexus.Endpoint, *nexus.Buffer) { cGot.Add(1) }))
+	spToC, err := nexus.TransferStartpoint(epC.NewStartpoint(), a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spToA, err := nexus.TransferStartpoint(epA.NewStartpoint(), c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if m, err := spToC.SelectMethod(); err != nil || m != method {
+		b.Fatalf("selection: %v %v, want %s", m, err, method)
+	}
+	payload := nexus.NewBuffer(size)
+	payload.PutRaw(make([]byte, size))
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			for cGot.Load() < int64(i+1) {
+				if c.Poll() == 0 {
+					runtime.Gosched()
+				}
+			}
+			if err := spToA.RSR("", payload); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := spToC.RSR("", payload); err != nil {
+			b.Fatal(err)
+		}
+		for aGot.Load() < int64(i+1) {
+			if a.Poll() == 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+	b.StopTimer()
+	<-done
+}
+
+// countSink counts deliveries without retaining the borrowed frames.
+type countSink struct{ n atomic.Int64 }
+
+func (s *countSink) Deliver(f []byte) { s.n.Add(1) }
+
+// shmPair wires two shm modules directly (no core) and dials one conn in
+// each direction, mirroring the module-level benchmarks in the shm package.
+func shmPair(b *testing.B) (a, c *shm.Module, aSink, cSink *countSink, toC, toA transport.Conn, cleanup func()) {
+	var dirs []string
+	mk := func(ctx transport.ContextID, sink transport.Sink) (*shm.Module, *transport.Descriptor) {
+		dir, err := os.MkdirTemp("", "nexus-bench-shm-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		dirs = append(dirs, dir)
+		m := shm.New(transport.Params{"dir": dir})
+		desc, err := m.Init(transport.Env{Context: ctx, Sink: sink})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m, desc
+	}
+	aSink, cSink = &countSink{}, &countSink{}
+	var aDesc, cDesc *transport.Descriptor
+	a, aDesc = mk(1, aSink)
+	c, cDesc = mk(2, cSink)
+	toC, err := a.Dial(*cDesc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	toA, err = c.Dial(*aDesc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cleanup = func() {
+		toC.Close()
+		toA.Close()
+		a.Close()
+		c.Close()
+		for _, d := range dirs {
+			os.RemoveAll(d)
+		}
+	}
+	return a, c, aSink, cSink, toC, toA, cleanup
+}
+
+// shmRingPingPong is the raw ring round trip (Send + Poll both ways).
+func shmRingPingPong(b *testing.B, size int) {
+	a, c, aSink, cSink, toC, toA, cleanup := shmPair(b)
+	defer cleanup()
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := toC.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		for cSink.n.Load() < int64(i+1) {
+			c.Poll()
+		}
+		if err := toA.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		for aSink.n.Load() < int64(i+1) {
+			a.Poll()
+		}
+	}
+}
+
+// shmBulk streams 256 KiB frames one way, draining every half ring from the
+// same thread (a goroutine drain would measure the scheduler on single-CPU
+// machines).
+func shmBulk(b *testing.B) {
+	const size = 256 << 10
+	const burst = 8
+	_, c, _, cSink, toC, _, cleanup := shmPair(b)
+	defer cleanup()
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := toC.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%burst == 0 {
+			for cSink.n.Load() < int64(i+1) {
+				c.Poll()
+			}
+		}
+	}
+	for cSink.n.Load() < int64(b.N) {
+		c.Poll()
+	}
+}

@@ -1,0 +1,67 @@
+package nexus_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nexus"
+)
+
+func debugMuxCtx(t *testing.T, profiling bool) *nexus.Context {
+	t.Helper()
+	c, err := nexus.NewContext(nexus.Options{
+		Methods:        []nexus.MethodConfig{{Name: "inproc"}},
+		DebugProfiling: profiling,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func muxStatus(mux *http.ServeMux, path string) int {
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code
+}
+
+// TestDebugMuxProfilingGate pins the opt-in contract: the pprof handlers are
+// mounted only when a served context was built with Options.DebugProfiling,
+// while /debug/nexusz is always there.
+func TestDebugMuxProfilingGate(t *testing.T) {
+	// /debug/pprof/profile is deliberately not probed: it blocks for the
+	// profile duration. cmdline and the index answer immediately.
+	plain := nexus.DebugMux(debugMuxCtx(t, false))
+	if got := muxStatus(plain, "/debug/nexusz"); got != http.StatusOK {
+		t.Errorf("nexusz on plain mux = %d, want 200", got)
+	}
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol", "/debug/pprof/trace"} {
+		if got := muxStatus(plain, path); got != http.StatusNotFound {
+			t.Errorf("%s on plain mux = %d, want 404 (profiling not enabled)", path, got)
+		}
+	}
+
+	prof := nexus.DebugMux(debugMuxCtx(t, true))
+	if got := muxStatus(prof, "/debug/nexusz"); got != http.StatusOK {
+		t.Errorf("nexusz on profiling mux = %d, want 200", got)
+	}
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		if got := muxStatus(prof, path); got != http.StatusOK {
+			t.Errorf("%s on profiling mux = %d, want 200", path, got)
+		}
+	}
+	rec := httptest.NewRecorder()
+	prof.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Error("pprof index does not list the goroutine profile")
+	}
+
+	// One profiling context among several is enough to mount the handlers.
+	mixed := nexus.DebugMux(debugMuxCtx(t, false), debugMuxCtx(t, true))
+	if got := muxStatus(mixed, "/debug/pprof/cmdline"); got != http.StatusOK {
+		t.Errorf("cmdline on mixed mux = %d, want 200", got)
+	}
+}

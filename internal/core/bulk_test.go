@@ -11,6 +11,7 @@ import (
 	"nexus/internal/simnet"
 	"nexus/internal/transport"
 	_ "nexus/internal/transport/rudp"
+	"nexus/internal/transport/shm"
 	_ "nexus/internal/transport/udp"
 )
 
@@ -534,13 +535,21 @@ func TestFailoverRefragments(t *testing.T) {
 
 // BenchmarkBulkBandwidth measures end-to-end RSR goodput for a 1 MiB
 // payload: tcp carries it as one frame, rudp fragments it into ~18 datagrams
-// and reassembles (EXPERIMENTS.md quotes these numbers).
+// and reassembles, shm carries it as one record through the mmap ring
+// (EXPERIMENTS.md quotes these numbers).
 func BenchmarkBulkBandwidth(b *testing.B) {
 	payload := bulkPayload(1 << 20)
-	for _, method := range []string{"tcp", "rudp"} {
+	for _, method := range []string{"tcp", "rudp", "shm"} {
 		b.Run(method, func(b *testing.B) {
-			recv := newCtx(b, "bench-bulk-"+method, "", MethodConfig{Name: method})
-			send := newCtx(b, "bench-bulk-"+method, "", MethodConfig{Name: method})
+			mc := MethodConfig{Name: method}
+			if method == "shm" {
+				if !shm.Supported() {
+					b.Skip("shm transport requires linux")
+				}
+				mc.Params = transport.Params{"dir": b.TempDir()}
+			}
+			recv := newCtx(b, "bench-bulk-"+method, "", mc)
+			send := newCtx(b, "bench-bulk-"+method, "", mc)
 			sink := &bulkSink{want: payload}
 			ep := recv.NewEndpoint(WithHandler(sink.handler))
 			sp := transferStartpoint(b, ep.NewStartpoint(), send, false)

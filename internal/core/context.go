@@ -131,6 +131,12 @@ type Options struct {
 	// kernel reports inbound data — an idle poll pass then costs zero
 	// syscalls for those methods.
 	DisableReactor bool
+	// DebugProfiling opts this context into runtime profiling endpoints:
+	// the facade's DebugMux mounts net/http/pprof alongside /debug/nexusz
+	// only for contexts built with this set. Off by default — profiling
+	// handlers expose stacks and heap contents and belong behind an
+	// explicit flag.
+	DebugProfiling bool
 }
 
 var nextContextID atomic.Uint64
@@ -143,6 +149,7 @@ type Context struct {
 	selector  Selector // as configured
 	healthSel Selector // selector wrapped with circuit filtering
 	pollOnRSR bool
+	profiling bool
 	errlog    func(error)
 	stats     *metrics.Set
 	registry  *transport.Registry
@@ -311,6 +318,7 @@ func NewContext(opts Options) (*Context, error) {
 		selector:   sel,
 		healthSel:  HealthAware(sel),
 		pollOnRSR:  !opts.DisablePollOnRSR,
+		profiling:  opts.DebugProfiling,
 		stats:      metrics.NewSet(),
 		registry:   reg,
 		byMethod:   make(map[string]*moduleState),
@@ -494,6 +502,11 @@ func (c *Context) Process() string { return c.process }
 
 // Partition reports the context's partition.
 func (c *Context) Partition() string { return c.partition }
+
+// DebugProfiling reports whether the context was built with
+// Options.DebugProfiling — the facade's DebugMux mounts the pprof handlers
+// only when some served context opted in.
+func (c *Context) DebugProfiling() bool { return c.profiling }
 
 // Stats exposes the context's enquiry counters.
 func (c *Context) Stats() *metrics.Set { return c.stats }

@@ -1,0 +1,82 @@
+// Module-level ping-pong across the two same-host transports: raw
+// Send/Poll round trips with no core framing, the apples-to-apples
+// comparison behind the shm-vs-loopback-tcp latency claim in EXPERIMENTS.md.
+package transport_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"nexus/internal/transport"
+	"nexus/internal/transport/shm"
+	"nexus/internal/transport/tcp"
+)
+
+// atomicCounterSink counts deliveries without copying or retaining frames.
+type atomicCounterSink struct{ n atomic.Int64 }
+
+func (s *atomicCounterSink) Deliver([]byte) { s.n.Add(1) }
+
+// BenchmarkModulePingPong bounces one 64-byte frame module→module and back:
+// Send into A→B, poll B until it lands, Send into B→A, poll A. ns/op is the
+// full round trip at the transport layer.
+func BenchmarkModulePingPong(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func(b *testing.B) transport.Module
+	}{
+		{"tcp", func(b *testing.B) transport.Module { return tcp.New(transport.Params{}) }},
+		{"shm", func(b *testing.B) transport.Module {
+			if !shm.Supported() {
+				b.Skip("shm transport requires linux")
+			}
+			return shm.New(transport.Params{"dir": b.TempDir()})
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			aSink, cSink := &atomicCounterSink{}, &atomicCounterSink{}
+			a, c := tc.mk(b), tc.mk(b)
+			aDesc, err := a.Init(transport.Env{Context: 1, Sink: aSink})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer a.Close()
+			cDesc, err := c.Init(transport.Env{Context: 2, Sink: cSink})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			toC, err := a.Dial(*cDesc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer toC.Close()
+			toA, err := c.Dial(*aDesc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer toA.Close()
+
+			payload := make([]byte, 64)
+			b.SetBytes(64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := toC.Send(payload); err != nil {
+					b.Fatal(err)
+				}
+				for cSink.n.Load() < int64(i+1) {
+					c.Poll()
+					a.Poll() // stream transports may need the sender polled to flush
+				}
+				if err := toA.Send(payload); err != nil {
+					b.Fatal(err)
+				}
+				for aSink.n.Load() < int64(i+1) {
+					a.Poll()
+					c.Poll()
+				}
+			}
+		})
+	}
+}

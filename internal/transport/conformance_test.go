@@ -22,6 +22,7 @@ import (
 	"nexus/internal/transport/local"
 	"nexus/internal/transport/rudp"
 	"nexus/internal/transport/secure"
+	"nexus/internal/transport/shm"
 	"nexus/internal/transport/tcp"
 	"nexus/internal/transport/udp"
 )
@@ -180,6 +181,19 @@ var fixtures = []struct {
 		}
 		initFixture(t, send, transport.Env{Context: 2, Sink: &collector{}})
 		return &pair{send: send, desc: desc, sink: sink, poll: []transport.Module{recv}, reliable: true}
+	}},
+	{"shm", func(t *testing.T) *pair {
+		if !shm.Supported() {
+			t.Skip("shm transport requires linux mmap/FIFO support")
+		}
+		sink := &collector{}
+		recv := shm.New(transport.Params{"dir": t.TempDir()})
+		desc := initFixture(t, recv, transport.Env{Context: 1, Sink: sink})
+		send := shm.New(transport.Params{"dir": t.TempDir()})
+		initFixture(t, send, transport.Env{Context: 2, Sink: &collector{}})
+		// Both modules poll: the receiver drains accepted segments, the
+		// sender drains the reverse rings of segments it dialed.
+		return &pair{send: send, desc: desc, sink: sink, poll: []transport.Module{recv, send}, reliable: true}
 	}},
 	{"simnet", func(t *testing.T) *pair {
 		fab := simnet.NewFabric("conformance-" + t.Name())

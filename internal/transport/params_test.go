@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParamsAccessors pins the fall-back contract every module relies on
+// when parsing its configuration: absent and malformed values yield the
+// caller's default — never a zero value, never a panic. A typo in a resource
+// database entry must degrade to defaults, not take the module down.
+func TestParamsAccessors(t *testing.T) {
+	p := Params{
+		"str":       "hello",
+		"int":       "42",
+		"negint":    "-7",
+		"badint":    "4 2",
+		"hugeint":   "999999999999999999999999999999",
+		"float":     "2.5",
+		"floatexp":  "5e7",
+		"badfloat":  "fast",
+		"bool":      "true",
+		"boolnum":   "0",
+		"badbool":   "yes!",
+		"dur":       "150ms",
+		"durmixed":  "1h2m3s",
+		"baddur":    "150",
+		"badunit":   "10 lightyears",
+		"empty":     "",
+		"shm.ring":  "4194304",
+		"shm.spin":  "sixty-four",
+		"shm.sleep": "-5ms",
+	}
+
+	if v, ok := p.Get("str"); v != "hello" || !ok {
+		t.Errorf("Get(str) = %q, %v", v, ok)
+	}
+	if v, ok := p.Get("absent"); v != "" || ok {
+		t.Errorf("Get(absent) = %q, %v — want zero, false", v, ok)
+	}
+	if v, ok := p.Get("empty"); v != "" || !ok {
+		t.Errorf("Get(empty) = %q, %v — empty value is still present", v, ok)
+	}
+
+	if v := p.Str("str", "d"); v != "hello" {
+		t.Errorf("Str(str) = %q", v)
+	}
+	if v := p.Str("absent", "d"); v != "d" {
+		t.Errorf("Str(absent) = %q, want default", v)
+	}
+	if v := p.Str("empty", "d"); v != "" {
+		t.Errorf("Str(empty) = %q — present-but-empty wins over the default", v)
+	}
+
+	intCases := []struct {
+		key  string
+		want int
+	}{
+		{"int", 42}, {"negint", -7},
+		{"badint", 99}, {"hugeint", 99}, {"empty", 99}, {"absent", 99},
+		{"float", 99}, // "2.5" is not an int
+		{"shm.spin", 99},
+	}
+	for _, tc := range intCases {
+		if v := p.Int(tc.key, 99); v != tc.want {
+			t.Errorf("Int(%s) = %d, want %d", tc.key, v, tc.want)
+		}
+	}
+
+	floatCases := []struct {
+		key  string
+		want float64
+	}{
+		{"float", 2.5}, {"floatexp", 5e7}, {"int", 42},
+		{"badfloat", 1.5}, {"empty", 1.5}, {"absent", 1.5},
+	}
+	for _, tc := range floatCases {
+		if v := p.Float(tc.key, 1.5); v != tc.want {
+			t.Errorf("Float(%s) = %g, want %g", tc.key, v, tc.want)
+		}
+	}
+
+	boolCases := []struct {
+		key       string
+		def, want bool
+	}{
+		{"bool", false, true}, {"boolnum", true, false},
+		{"badbool", true, true}, {"badbool", false, false},
+		{"empty", true, true}, {"absent", false, false},
+	}
+	for _, tc := range boolCases {
+		if v := p.Bool(tc.key, tc.def); v != tc.want {
+			t.Errorf("Bool(%s, %v) = %v, want %v", tc.key, tc.def, v, tc.want)
+		}
+	}
+
+	durCases := []struct {
+		key  string
+		want time.Duration
+	}{
+		{"dur", 150 * time.Millisecond},
+		{"durmixed", time.Hour + 2*time.Minute + 3*time.Second},
+		{"shm.sleep", -5 * time.Millisecond}, // negative parses; range checks are the caller's
+		{"baddur", time.Second},              // bare number has no unit
+		{"badunit", time.Second}, {"empty", time.Second}, {"absent", time.Second},
+	}
+	for _, tc := range durCases {
+		if v := p.Duration(tc.key, time.Second); v != tc.want {
+			t.Errorf("Duration(%s) = %v, want %v", tc.key, v, tc.want)
+		}
+	}
+}
+
+// TestParamsNilReceiver: every accessor must work on a nil map — modules are
+// routinely constructed with no parameters at all.
+func TestParamsNilReceiver(t *testing.T) {
+	var p Params
+	if _, ok := p.Get("k"); ok {
+		t.Error("Get on nil Params reported a value")
+	}
+	if v := p.Str("k", "d"); v != "d" {
+		t.Errorf("Str on nil = %q", v)
+	}
+	if v := p.Int("k", 3); v != 3 {
+		t.Errorf("Int on nil = %d", v)
+	}
+	if v := p.Float("k", 0.5); v != 0.5 {
+		t.Errorf("Float on nil = %g", v)
+	}
+	if v := p.Bool("k", true); !v {
+		t.Error("Bool on nil lost the default")
+	}
+	if v := p.Duration("k", time.Minute); v != time.Minute {
+		t.Errorf("Duration on nil = %v", v)
+	}
+	if c := p.Clone(); c == nil || len(c) != 0 {
+		t.Errorf("Clone of nil = %v, want empty non-nil", c)
+	}
+}

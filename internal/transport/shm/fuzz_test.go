@@ -1,0 +1,86 @@
+package shm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// FuzzRingDrain treats the entire segment as hostile: the fuzzer controls
+// the ring control words and every data byte — exactly the power a buggy or
+// malicious same-host peer has over the shared mapping. Drain must
+// terminate, never panic or index out of bounds, and never deliver a frame
+// longer than the message limit.
+func FuzzRingDrain(f *testing.F) {
+	const ringSize = 4096
+	seed := func(head, tail uint64, data []byte) []byte {
+		mem := make([]byte, segSizeFor(ringSize))
+		initSegment(mem, ringSize, 1)
+		binary.LittleEndian.PutUint64(mem[ring0Ctl:], head)
+		binary.LittleEndian.PutUint64(mem[ring0Ctl+ctlStride:], tail)
+		copy(mem[hdrSize:], data)
+		return mem
+	}
+	// A legitimate record, a wrap marker mid-stream, and pathological
+	// cursor values.
+	f.Add(seed(8, 0, []byte{4, 0, 0, 0, 'a', 'b', 'c', 'd'}))
+	f.Add(seed(12, 4, []byte{0xFF, 0xFF, 0xFF, 0xFF, 2, 0, 0, 0, 'x', 'y', 0, 0}))
+	f.Add(seed(^uint64(0), 0, nil))
+	f.Add(seed(1, 3, []byte{1}))
+	f.Add(seed(ringSize+8, 0, nil))
+
+	f.Fuzz(func(t *testing.T, mem []byte) {
+		if len(mem) != segSizeFor(ringSize) {
+			t.Skip()
+		}
+		rings := ringsOf(mem, ringSize)
+		maxMsg := maxMessageFor(ringSize)
+		for i := range rings {
+			sink := &boundedSink{t: t, maxMsg: maxMsg}
+			// Bounded and unbounded drains must both be safe; errors
+			// (corruption) are an expected outcome, panics are not.
+			_, _ = rings[i].drain(sink, maxMsg, 16)
+			_, _ = rings[i].drain(sink, maxMsg, 0)
+		}
+		// The producer must survive hostile cursors too.
+		_, _ = rings[0].tryPush([]byte("probe"))
+	})
+}
+
+type boundedSink struct {
+	t      *testing.T
+	maxMsg int
+}
+
+func (s *boundedSink) Deliver(frame []byte) {
+	if len(frame) > s.maxMsg {
+		s.t.Fatalf("drain delivered %d bytes past the %d limit", len(frame), s.maxMsg)
+	}
+}
+
+// FuzzParseAttach feeds arbitrary control-FIFO lines to the attach parser.
+// Anything may be written to the FIFO by any same-host process; accepted
+// messages must never name a file outside the segment directory.
+func FuzzParseAttach(f *testing.F) {
+	f.Add("A seg-1 7 \"/dev/shm/nexus-shm-abc/ctl.fifo\"")
+	f.Add("")
+	f.Add("A ../../etc/passwd 1 \"x\"")
+	f.Add("A seg 18446744073709551615 \"\"")
+	f.Add("A seg 1 \"\\x00\"")
+	f.Add(strings.Repeat("A", 5000))
+	f.Fuzz(func(t *testing.T, line string) {
+		msg, ok := parseAttach(line)
+		if !ok {
+			return
+		}
+		if msg.file == "" || strings.ContainsAny(msg.file, "/\\") ||
+			msg.file == "." || msg.file == ".." {
+			t.Fatalf("parser accepted escaping file name %q", msg.file)
+		}
+		// Round-trip stability: re-rendering must parse to the same message.
+		again, ok := parseAttach(strings.TrimSuffix(formatAttach(msg.file, msg.ctx, msg.ctl), "\n"))
+		if !ok || again != msg {
+			t.Fatalf("attach message not stable: %+v vs %+v", msg, again)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package shm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Segment layout. A segment file is one 4 KiB header page followed by the
+// two ring data regions:
+//
+//	off 0    magic   uint32  "NXS1"
+//	off 4    version uint32
+//	off 8    ring size (bytes per direction) uint64
+//	off 16   creator context id uint64
+//	off 64.. ring 0 control words (dialer → acceptor), one per cache line:
+//	         head@64 tail@128 armed@192 closed@256
+//	off 320.. ring 1 control words (acceptor → dialer):
+//	         head@320 tail@384 armed@448 closed@512
+//	off 4096            ring 0 data
+//	off 4096+ringSize   ring 1 data
+const (
+	segMagic   = 0x3153584e // "NXS1" little-endian
+	segVersion = 1
+	hdrSize    = 4096
+
+	offMagic    = 0
+	offVersion  = 4
+	offRingSize = 8
+	offCreator  = 16
+	ring0Ctl    = 64
+	ring1Ctl    = 320
+	ctlStride   = 64
+)
+
+// ringLimits bound what initSegment/openSegment accept from a shared header.
+const (
+	minRingSize = 64 << 10
+	maxRingSize = 1 << 30
+)
+
+// ringSizeFor clamps and rounds a requested per-direction ring capacity to
+// the nearest power of two within [minRingSize, maxRingSize].
+func ringSizeFor(n int) int {
+	if n < minRingSize {
+		n = minRingSize
+	}
+	if n > maxRingSize {
+		n = maxRingSize
+	}
+	p := minRingSize
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// segSizeFor is the byte length of a segment file for a ring size.
+func segSizeFor(ringSize int) int { return hdrSize + 2*ringSize }
+
+// ringsOf builds the two ring views over a mapping whose header has already
+// been validated (or freshly written).
+func ringsOf(mem []byte, ringSize uint64) [2]ring {
+	var rs [2]ring
+	for i := 0; i < 2; i++ {
+		ctl := ring0Ctl
+		if i == 1 {
+			ctl = ring1Ctl
+		}
+		rs[i] = ring{
+			ringHdr: ringHdr{
+				head:   word(mem, ctl),
+				tail:   word(mem, ctl+ctlStride),
+				armed:  word(mem, ctl+2*ctlStride),
+				closed: word(mem, ctl+3*ctlStride),
+			},
+			data: mem[hdrSize+uint64(i)*ringSize : hdrSize+uint64(i+1)*ringSize],
+			size: ringSize,
+			mask: ringSize - 1,
+		}
+	}
+	return rs
+}
+
+// initSegment writes a fresh header into a zeroed mapping.
+func initSegment(mem []byte, ringSize uint64, creator uint64) {
+	binary.LittleEndian.PutUint32(mem[offMagic:], segMagic)
+	binary.LittleEndian.PutUint32(mem[offVersion:], segVersion)
+	binary.LittleEndian.PutUint64(mem[offRingSize:], ringSize)
+	binary.LittleEndian.PutUint64(mem[offCreator:], creator)
+}
+
+// validateSegment checks a mapped header against the mapping's actual size
+// and returns the ring size. Everything read from shared memory is hostile
+// until proven consistent: magic, version, and the size equation must all
+// hold before any ring view is built over the bytes.
+func validateSegment(mem []byte) (uint64, error) {
+	if len(mem) < hdrSize {
+		return 0, fmt.Errorf("shm: segment too small: %d bytes", len(mem))
+	}
+	if m := binary.LittleEndian.Uint32(mem[offMagic:]); m != segMagic {
+		return 0, fmt.Errorf("shm: bad segment magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(mem[offVersion:]); v != segVersion {
+		return 0, fmt.Errorf("shm: unsupported segment version %d", v)
+	}
+	rs := binary.LittleEndian.Uint64(mem[offRingSize:])
+	if rs < minRingSize || rs > maxRingSize || rs&(rs-1) != 0 {
+		return 0, fmt.Errorf("shm: implausible ring size %d", rs)
+	}
+	if uint64(len(mem)) != hdrSize+2*rs {
+		return 0, fmt.Errorf("shm: mapping is %d bytes, header claims %d", len(mem), hdrSize+2*rs)
+	}
+	return rs, nil
+}
+
+// Attach lines travel over the control FIFO: "A <file> <ctx> <quoted ctl>\n"
+// announces a freshly created segment file (a bare name inside the
+// receiver's own directory), the dialing context's id, and the dialer's own
+// control FIFO path (for reverse doorbells). Lines are shorter than
+// PIPE_BUF, so concurrent dialers never interleave. Any other line — in
+// particular the single '\n' a doorbell writes — is ignored.
+
+// attachMsg is one parsed attach announcement.
+type attachMsg struct {
+	file string
+	ctx  uint64
+	ctl  string
+}
+
+// formatAttach renders an attach line.
+func formatAttach(file string, ctx uint64, ctl string) string {
+	return fmt.Sprintf("A %s %d %s\n", file, ctx, strconv.Quote(ctl))
+}
+
+// parseAttach parses one FIFO line (without the trailing newline). It
+// returns ok=false for doorbells, blanks, and anything malformed: the FIFO
+// is writable by any same-host process, so garbage must parse to "ignore",
+// never to a panic or a path outside the segment directory.
+func parseAttach(line string) (attachMsg, bool) {
+	if !strings.HasPrefix(line, "A ") {
+		return attachMsg{}, false
+	}
+	parts := strings.SplitN(line[2:], " ", 3)
+	if len(parts) != 3 {
+		return attachMsg{}, false
+	}
+	file := parts[0]
+	if file == "" || file == "." || file == ".." ||
+		strings.ContainsAny(file, "/\\") {
+		return attachMsg{}, false // must stay inside our directory
+	}
+	ctx, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return attachMsg{}, false
+	}
+	ctl, err := strconv.Unquote(parts[2])
+	if err != nil {
+		return attachMsg{}, false
+	}
+	return attachMsg{file: file, ctx: ctx, ctl: ctl}, true
+}

@@ -37,6 +37,7 @@ package nexus
 
 import (
 	"net/http"
+	"net/http/pprof"
 
 	"nexus/internal/buffer"
 	"nexus/internal/climate"
@@ -56,6 +57,7 @@ import (
 	_ "nexus/internal/transport/local"
 	_ "nexus/internal/transport/rudp"
 	_ "nexus/internal/transport/secure"
+	_ "nexus/internal/transport/shm"
 	_ "nexus/internal/transport/tcp"
 	_ "nexus/internal/transport/udp"
 )
@@ -152,6 +154,29 @@ func DebugHandler(ctxs ...*Context) http.Handler {
 		}
 		return snaps
 	})
+}
+
+// DebugMux returns a mux serving /debug/nexusz for the given contexts. When
+// at least one of them was built with Options.DebugProfiling, the standard
+// net/http/pprof handlers are mounted alongside under /debug/pprof/;
+// otherwise those paths 404 — profiling exposure is an explicit per-context
+// opt-in, never a side effect of serving observability:
+//
+//	go http.ListenAndServe("localhost:6060", nexus.DebugMux(ctx))
+func DebugMux(ctxs ...*Context) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/nexusz", DebugHandler(ctxs...))
+	for _, c := range ctxs {
+		if c.DebugProfiling() {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			break
+		}
+	}
+	return mux
 }
 
 // Circuit-breaker states reported by Context.HealthSnapshot.
