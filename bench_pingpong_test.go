@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"nexus"
 	"nexus/internal/transport/shm"
@@ -105,4 +106,62 @@ func benchPingPongMethod(b *testing.B, method string, size int) {
 			b.ReportMetric(float64(l.P99.Nanoseconds())/1e3, "p99-µs")
 		}
 	}
+}
+
+// BenchmarkRPCPingPong measures the unary request/response layer against the
+// raw RSR round trip above: Call + Await on an echo method, same 64-byte
+// payload, same links. CI pins rpc-pingpong/inproc at ≤ 1.5× pingpong/inproc
+// from the nexus-bench artifact.
+func BenchmarkRPCPingPong(b *testing.B) {
+	for _, method := range []string{"inproc", "shm", "tcp"} {
+		b.Run(method, func(b *testing.B) {
+			if method == "shm" && !shm.Supported() {
+				b.Skip("shm transport requires linux")
+			}
+			benchRPCPingPong(b, method, 64)
+		})
+	}
+}
+
+func benchRPCPingPong(b *testing.B, method string, size int) {
+	mk := func() *nexus.Context {
+		c, err := nexus.NewContext(nexus.Options{
+			Methods: methodTable(b, method),
+			RPC:     nexus.RPCConfig{Enabled: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	srv, cli := mk(), mk()
+	defer srv.Close()
+	defer cli.Close()
+	if err := nexus.RegisterRPC(srv, "echo", func(req *nexus.RPCRequest, r *nexus.Responder) {
+		// Echoing the borrowed request buffer back is safe: Reply encodes it
+		// into the outbound frame before returning.
+		if err := r.Reply(req.Payload); err != nil {
+			b.Error(err)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	sp, err := nexus.TransferStartpoint(srv.NewEndpoint().NewStartpoint(), cli)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.StartPoller(0)()
+	payload := nexus.NewBuffer(size)
+	payload.PutRaw(make([]byte, size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := nexus.Call(sp, "echo", payload, nexus.CallOptions{Timeout: 30 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Await(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
 }

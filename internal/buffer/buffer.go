@@ -106,6 +106,38 @@ func FromBytes(p []byte) (*Buffer, error) {
 	return &Buffer{format: f, data: p[1:]}, nil
 }
 
+// SetEncoded replaces b's contents with a copy of the encoded payload p (as
+// produced by Encode) and rewinds the read cursor. The copy is owned by b,
+// so p may be a borrowed frame. b's existing storage is reused when it fits.
+func (b *Buffer) SetEncoded(p []byte) error {
+	if len(p) < 1 {
+		return ErrUnderflow
+	}
+	f := Format(p[0])
+	if f != LittleEndian && f != BigEndian {
+		return ErrBadFormat
+	}
+	b.format = f
+	b.data = append(b.data[:0], p[1:]...)
+	b.pos = 0
+	b.err = nil
+	return nil
+}
+
+// Decode is FromBytes returning a Buffer value instead of a pointer: a
+// decoder that unpacks and discards in one frame's scope can keep the Buffer
+// on its stack. The result aliases p.
+func Decode(p []byte) (Buffer, error) {
+	if len(p) < 1 {
+		return Buffer{}, ErrUnderflow
+	}
+	f := Format(p[0])
+	if f != LittleEndian && f != BigEndian {
+		return Buffer{}, ErrBadFormat
+	}
+	return Buffer{format: f, data: p[1:]}, nil
+}
+
 // Encode returns the wire form of the buffer: a one-byte format tag followed
 // by the packed bytes. The returned slice aliases the buffer's storage; the
 // caller must not modify the buffer while the slice is in use.
@@ -319,6 +351,40 @@ func (b *Buffer) BytesValue() []byte {
 		return nil
 	}
 	return append([]byte(nil), p...)
+}
+
+// BytesView unpacks a length-prefixed byte slice without copying. The result
+// aliases the buffer's storage: it is valid only as long as the buffer's
+// backing bytes are, which for a delivery-borrowed buffer means only until
+// the handler returns.
+func (b *Buffer) BytesView() []byte {
+	n := int(b.Uint32())
+	if b.err != nil {
+		return nil
+	}
+	if n > b.Remaining() {
+		b.err = ErrTooLarge
+		return nil
+	}
+	p, ok := b.take(n)
+	if !ok {
+		return nil
+	}
+	return p
+}
+
+// PutEncoded packs another buffer's wire form (format tag plus payload) as a
+// length-prefixed value — the same bytes as PutBytes(src.Encode()) without
+// the intermediate allocation. A nil src packs an empty native-format buffer.
+func (b *Buffer) PutEncoded(src *Buffer) {
+	if src == nil {
+		b.PutUint32(1)
+		b.PutByte(byte(NativeFormat))
+		return
+	}
+	b.PutUint32(uint32(src.EncodedLen()))
+	b.PutByte(byte(src.format))
+	copy(b.grow(len(src.data)), src.data)
 }
 
 // PutFloat64s packs a length-prefixed vector of float64 values.

@@ -61,7 +61,7 @@ func (fc FragConfig) toFragConfig(maxMsg int) frag.Config {
 // caller's recovery path re-fragments under a new message id and the receiver
 // expires the abandoned partial.
 func (sp *Startpoint) fragmentTo(conn transport.Conn, maxMsg int, destCtx transport.ContextID, destEP uint64,
-	flags byte, tid obsv.TraceID, handler string, payload []byte) error {
+	flags byte, rext wire.RPCExt, tid obsv.TraceID, handler string, payload []byte) error {
 	owner := sp.owner
 	// A piggybacked credit grant does not survive fragmentation (the
 	// fragment headers carry no credit fields); dropping it only delays the
@@ -79,7 +79,7 @@ func (sp *Startpoint) fragmentTo(conn transport.Conn, maxMsg int, destCtx transp
 			len(payload), total, maxMsg, frag.DefaultMaxFragments, transport.ErrTooLarge)
 	}
 	msgID := owner.nextMsgID.Add(1)
-	ext := wire.Ext{Trace: [16]byte(tid), FragID: msgID, FragTotal: uint32(total)}
+	ext := wire.Ext{Trace: [16]byte(tid), FragID: msgID, FragTotal: uint32(total), RPC: rext}
 	if bs, ok := conn.(transport.BatchSender); ok && total > 1 {
 		return sp.fragmentBatch(bs, maxMsg, destCtx, destEP, fragFlags, ext,
 			handler, payload, chunk, total)
@@ -157,10 +157,10 @@ func (sp *Startpoint) fragmentBatch(bs transport.BatchSender, maxMsg int,
 // prefers — the receiver cannot stitch fragments from two attempts together,
 // so the abandoned partial expires and delivery stays all-or-nothing. Caller
 // holds sp.mu, and t.conn is non-nil.
-func (sp *Startpoint) sendToTargetLocked(t *target, enc []byte, handler string, flags byte, off int, tid obsv.TraceID) error {
+func (sp *Startpoint) sendToTargetLocked(t *target, enc []byte, handler string, flags byte, rext wire.RPCExt, off int, tid obsv.TraceID) error {
 	wire.PatchDest(enc, uint64(t.context), t.endpoint)
 	if t.maxMsg > 0 && len(enc) > t.maxMsg {
-		return sp.fragmentTo(t.conn.conn, t.maxMsg, t.context, t.endpoint, flags, tid, handler, enc[off:])
+		return sp.fragmentTo(t.conn.conn, t.maxMsg, t.context, t.endpoint, flags, rext, tid, handler, enc[off:])
 	}
 	return t.conn.conn.Send(enc)
 }

@@ -131,6 +131,10 @@ type Options struct {
 	// kernel reports inbound data — an idle poll pass then costs zero
 	// syscalls for those methods.
 	DisableReactor bool
+	// RPC configures the request/response layer built on top of RSR. Core
+	// only carries the knobs; the layer itself (internal/rpc) is attached by
+	// the facade when Enabled is set, or by calling rpc.Enable directly.
+	RPC RPCConfig
 	// DebugProfiling opts this context into runtime profiling endpoints:
 	// the facade's DebugMux mounts net/http/pprof alongside /debug/nexusz
 	// only for contexts built with this set. Off by default — profiling
@@ -167,6 +171,12 @@ type Context struct {
 	cRSRFailover *metrics.Counter
 	cDropUnkEP   *metrics.Counter // rsr.dropped.unknown_endpoint
 	cDropUnkH    *metrics.Counter // rsr.dropped.unknown_handler
+	cDropNoRPC   *metrics.Counter // rsr.dropped.no_rpc_layer
+
+	// rpcIntake receives delivered frames carrying wire.FlagRPC (see
+	// rpc_hook.go); rpcState holds the attached RPC runtime opaquely.
+	rpcIntake atomic.Pointer[RPCIntakeFunc]
+	rpcState  atomic.Value
 
 	// Bulk-data path state (see bulk.go): the payload cap, the receive-side
 	// reassembler, the fragmented-message id generator, the size hint the
@@ -339,6 +349,7 @@ func NewContext(opts Options) (*Context, error) {
 	c.cRSRFailover = c.stats.Counter("rsr.failover")
 	c.cDropUnkEP = c.stats.Counter("rsr.dropped.unknown_endpoint")
 	c.cDropUnkH = c.stats.Counter("rsr.dropped.unknown_handler")
+	c.cDropNoRPC = c.stats.Counter("rsr.dropped.no_rpc_layer")
 	c.maxMsg = opts.MaxMessageSize
 	if c.maxMsg <= 0 {
 		c.maxMsg = frag.DefaultMaxMessage
@@ -663,6 +674,13 @@ func (c *Context) dispatch(ms *moduleState, frame []byte) {
 func (c *Context) deliver(ms *moduleState, f *wire.Frame) {
 	parity := c.gate.enter()
 	defer c.gate.exit(parity)
+	if f.HasRPC() {
+		// Request/response traffic routes by its correlation extension, not
+		// by endpoint/handler lookup: the attached RPC runtime (rpc_hook.go)
+		// resolves the call and invokes the registered handler itself.
+		c.deliverRPC(ms, f)
+		return
+	}
 	ep := (*c.endpoints.Load())[f.DestEndpoint]
 	var fn HandlerFunc
 	if f.Handler != "" {

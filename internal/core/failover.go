@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nexus/internal/obsv"
+	"nexus/internal/wire"
 )
 
 // This file implements the supervised side of a communication link: what
@@ -30,7 +31,7 @@ func (sp *Startpoint) maxFailoverAttempts(tableLen int) int {
 // spent. The failed send's failure has already been reported and its shared
 // connection invalidated. tid attributes replacement dials to the RSR being
 // recovered. Caller holds sp.mu.
-func (sp *Startpoint) failoverTarget(t *target, enc []byte, handler string, flags byte, off int, firstErr error, tid obsv.TraceID) error {
+func (sp *Startpoint) failoverTarget(t *target, enc []byte, handler string, flags byte, rext wire.RPCExt, off int, firstErr error, tid obsv.TraceID) error {
 	owner := sp.owner
 	table, err := sp.tableFor(t)
 	if err != nil {
@@ -64,7 +65,7 @@ func (sp *Startpoint) failoverTarget(t *target, enc []byte, handler string, flag
 		// limit than the one that failed, in which case the message
 		// re-fragments here under a fresh message id (the receiver expires
 		// the failed attempt's partial — see sendToTargetLocked).
-		if err := sp.sendToTargetLocked(t, enc, handler, flags, off, tid); err != nil {
+		if err := sp.sendToTargetLocked(t, enc, handler, flags, rext, off, tid); err != nil {
 			lastErr = err
 			owner.health.reportFailure(t.method, t.context, err)
 			owner.invalidateConn(t.conn)

@@ -364,8 +364,33 @@ func (sp *Startpoint) bindTarget(t *target, method string, desc transport.Descri
 // frames have been handed to the selected communication methods; it does not
 // wait for remote execution.
 func (sp *Startpoint) RSR(handler string, b *buffer.Buffer) error {
-	err := sp.send(handler, b)
+	err := sp.send(handler, b, nil)
 	if err != nil {
+		return err
+	}
+	if sp.owner.pollOnRSR {
+		sp.owner.tryPoll()
+	}
+	return nil
+}
+
+// RPCSend describes the RPC header extension for one RSR. It is the
+// request/response layer's (internal/rpc) hook into the send path: the frame
+// carries wire.FlagRPC with the given extension values, is tagged with the
+// given class instead of the startpoint's, and — when tracing is on — reuses
+// the given trace id so every frame of one call belongs to one span family
+// (a zero Trace draws a fresh id as usual).
+type RPCSend struct {
+	Ext   wire.RPCExt
+	Class Class
+	Trace obsv.TraceID
+}
+
+// RSRWithRPC is RSR for a frame carrying the RPC correlation extension. The
+// extension survives failover resends byte-identically (retried requests keep
+// their call id) and is carried on every fragment of an oversize frame.
+func (sp *Startpoint) RSRWithRPC(handler string, b *buffer.Buffer, rs RPCSend) error {
+	if err := sp.send(handler, b, &rs); err != nil {
 		return err
 	}
 	if sp.owner.pollOnRSR {
@@ -387,16 +412,26 @@ func (sp *Startpoint) RSR(handler string, b *buffer.Buffer) error {
 // the health registry's generation, and senders synchronize only at the
 // transport. The locked slow path (prepare, recoverSend) runs only when the
 // snapshot is missing/stale, a probe is due, or a send fails.
-func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
+func (sp *Startpoint) send(handler string, b *buffer.Buffer, rs *RPCSend) error {
 	owner := sp.owner
 	mode := owner.obs.mode.Load()
 	var tid obsv.TraceID
 	var flags byte
 	if mode&obsTrace != 0 {
-		tid = owner.newTraceID()
+		if rs != nil && rs.Trace != (obsv.TraceID{}) {
+			tid = rs.Trace
+		} else {
+			tid = owner.newTraceID()
+		}
 		flags = wire.FlagTrace
 	}
 	cls := wire.Class(sp.class.Load())
+	var rext wire.RPCExt
+	if rs != nil {
+		cls = wire.Class(rs.Class)
+		rext = rs.Ext
+		flags |= wire.FlagRPC
+	}
 	flags |= wire.ClassFlags(cls) // ClassNormal adds no bits: default stays v1
 	payloadLen := 1               // lone format tag for a nil buffer
 	if b != nil {
@@ -417,7 +452,7 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 			return err
 		}
 	}
-	ext := wire.Ext{Trace: [16]byte(tid)}
+	ext := wire.Ext{Trace: [16]byte(tid), RPC: rext}
 	if fl := owner.flow; fl != nil && len(snap.links) == 1 && cls != wire.ClassControl {
 		// Piggyback a due credit grant for the reverse direction of this
 		// link on the outbound frame — the no-extra-frame refill path for
@@ -455,7 +490,7 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 			if l.selErr == nil {
 				continue
 			}
-			if err, fatal := sp.recoverSend(l, enc, handler, flags, off, l.selErr, tid); err != nil {
+			if err, fatal := sp.recoverSend(l, enc, handler, flags, rext, off, l.selErr, tid); err != nil {
 				if fatal {
 					return err
 				}
@@ -492,12 +527,12 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer) error {
 			// fragments, reassembled at the receiving context (bulk.go). The
 			// split is per link, so the other links of a multicast startpoint
 			// still get the single encoded frame if their method carries it.
-			serr = sp.fragmentTo(l.conn.conn, l.maxMsg, l.context, l.endpoint, flags, tid, handler, enc[off:])
+			serr = sp.fragmentTo(l.conn.conn, l.maxMsg, l.context, l.endpoint, flags, rext, tid, handler, enc[off:])
 		} else {
 			serr = l.conn.conn.Send(enc)
 		}
 		if serr != nil {
-			if rerr, fatal := sp.recoverSend(l, enc, handler, flags, off, serr, tid); rerr != nil {
+			if rerr, fatal := sp.recoverSend(l, enc, handler, flags, rext, off, serr, tid); rerr != nil {
 				if fatal {
 					return rerr
 				}
@@ -611,7 +646,7 @@ func (sp *Startpoint) publishLocked() *sendSnapshot {
 // poisoned shared conn invalidated, and with failover enabled the
 // reselect/redial/resend loop runs. fatal=true keeps non-failover semantics:
 // the first real send error aborts the whole RSR.
-func (sp *Startpoint) recoverSend(l *sendLink, enc []byte, handler string, flags byte, off int, cause error, tid obsv.TraceID) (err error, fatal bool) {
+func (sp *Startpoint) recoverSend(l *sendLink, enc []byte, handler string, flags byte, rext wire.RPCExt, off int, cause error, tid obsv.TraceID) (err error, fatal bool) {
 	owner := sp.owner
 	sp.mu.Lock()
 	defer func() {
@@ -622,7 +657,7 @@ func (sp *Startpoint) recoverSend(l *sendLink, enc []byte, handler string, flags
 	if t.conn != nil && t.conn != l.conn {
 		// Stale snapshot: retry once on the current binding (size-aware — the
 		// fresh binding may have a different frame limit than the stale one).
-		serr := sp.sendToTargetLocked(t, enc, handler, flags, off, tid)
+		serr := sp.sendToTargetLocked(t, enc, handler, flags, rext, off, tid)
 		if serr == nil {
 			if t.reportUp.CompareAndSwap(true, false) {
 				owner.health.reportSuccess(t.method, t.context)
@@ -643,7 +678,7 @@ func (sp *Startpoint) recoverSend(l *sendLink, enc []byte, handler string, flags
 		}
 		return fmt.Errorf("core: RSR via %s to context %d: %w", method, t.context, cause), true
 	}
-	if ferr := sp.failoverTarget(t, enc, handler, flags, off, cause, tid); ferr != nil {
+	if ferr := sp.failoverTarget(t, enc, handler, flags, rext, off, cause, tid); ferr != nil {
 		return fmt.Errorf("core: RSR to context %d: %w", t.context, ferr), false
 	}
 	return nil, false

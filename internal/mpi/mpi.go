@@ -18,7 +18,6 @@
 package mpi
 
 import (
-	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -43,8 +42,9 @@ const (
 const DefaultTimeout = 30 * time.Second
 
 // ErrTimeout reports a blocking operation that found no matching message in
-// time.
-var ErrTimeout = errors.New("mpi: receive timed out")
+// time. It wraps the stack-wide deadline sentinel, so errors.Is matches it
+// against core.ErrDeadline and context.DeadlineExceeded too.
+var ErrTimeout = fmt.Errorf("mpi: receive timed out: %w", core.ErrDeadline)
 
 const msgHandler = "mpi.msg"
 

@@ -45,8 +45,10 @@ var (
 	ErrNotFound = errors.New("names: name not found")
 	// ErrExists reports registration of an already-taken name.
 	ErrExists = errors.New("names: name already registered")
-	// ErrTimeout reports a request the server did not answer in time.
-	ErrTimeout = errors.New("names: request timed out")
+	// ErrTimeout reports a request the server did not answer in time. It
+	// wraps the stack-wide deadline sentinel, so errors.Is matches it
+	// against core.ErrDeadline and context.DeadlineExceeded too.
+	ErrTimeout = fmt.Errorf("names: request timed out: %w", core.ErrDeadline)
 )
 
 // Server is a name service hosted in a context.
@@ -191,7 +193,10 @@ func NewClient(ctx *core.Context, server *core.Startpoint) *Client {
 			return
 		}
 		c.mu.Lock()
-		c.replies[seq] = b
+		// The handler's buffer borrows the delivered frame, whose storage is
+		// recycled after the handler returns; the parked reply must own its
+		// bytes or a later send scribbles over it.
+		c.replies[seq] = b.Clone()
 		c.mu.Unlock()
 	})
 	c.ep = ctx.NewEndpoint()

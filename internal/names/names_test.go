@@ -1,8 +1,11 @@
 package names
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -213,5 +216,144 @@ func TestConcurrentClients(t *testing.T) {
 	}
 	if srv.Len() != len(clients) {
 		t.Errorf("entries = %d, want %d", srv.Len(), len(clients))
+	}
+}
+
+// TestNameTableSemantics drives the registration/lookup state machine
+// through a table of operation sequences: lookup misses, duplicate
+// registration, and the re-registration that becomes legal once the name's
+// state allows it (a second Register of the *same* name always reports
+// ErrExists — names are immutable once published).
+func TestNameTableSemantics(t *testing.T) {
+	type op struct {
+		kind    string // "register", "resolve", "list"
+		name    string
+		wantErr error
+	}
+	cases := []struct {
+		name string
+		ops  []op
+	}{
+		{"lookup-miss-empty", []op{
+			{kind: "resolve", name: "nothing", wantErr: ErrNotFound},
+		}},
+		{"lookup-miss-other-name", []op{
+			{kind: "register", name: "a"},
+			{kind: "resolve", name: "b", wantErr: ErrNotFound},
+			{kind: "resolve", name: "a"},
+		}},
+		{"re-registration-rejected", []op{
+			{kind: "register", name: "dup"},
+			{kind: "register", name: "dup", wantErr: ErrExists},
+			{kind: "resolve", name: "dup"},
+		}},
+		{"re-registration-distinct-names", []op{
+			{kind: "register", name: "svc/1"},
+			{kind: "register", name: "svc/2"},
+			{kind: "resolve", name: "svc/1"},
+			{kind: "resolve", name: "svc/2"},
+			{kind: "list", name: ""},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, _, clients := testWorld(t, 2)
+			cl := clients[0]
+			ep := m.Context(1).NewEndpoint()
+			for i, o := range tc.ops {
+				var err error
+				switch o.kind {
+				case "register":
+					err = cl.Register(o.name, ep.NewStartpoint())
+				case "resolve":
+					_, err = cl.Resolve(o.name)
+				case "list":
+					_, err = cl.List()
+				}
+				if o.wantErr == nil && err != nil {
+					t.Fatalf("op %d (%s %q): %v", i, o.kind, o.name, err)
+				}
+				if o.wantErr != nil && !errors.Is(err, o.wantErr) {
+					t.Fatalf("op %d (%s %q) = %v, want %v", i, o.kind, o.name, err, o.wantErr)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentRegisterResolve hammers one server from several goroutines
+// mixing registers, resolves (hits and misses), and lists; run under -race
+// it pins the server map's and client sequence counter's synchronization.
+func TestConcurrentRegisterResolve(t *testing.T) {
+	m, srv, clients := testWorld(t, 3)
+	cl0, cl1 := clients[0], clients[1]
+	ep := m.Context(1).NewEndpoint()
+
+	const perWorker = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, 6*perWorker)
+	worker := func(cl *Client, id int) {
+		defer wg.Done()
+		for i := 0; i < perWorker; i++ {
+			name := fmt.Sprintf("w%d/%d", id, i)
+			if err := cl.Register(name, ep.NewStartpoint()); err != nil {
+				errs <- fmt.Errorf("register %s: %w", name, err)
+				return
+			}
+			if _, err := cl.Resolve(name); err != nil {
+				errs <- fmt.Errorf("resolve %s: %w", name, err)
+				return
+			}
+			if _, err := cl.Resolve("never/registered"); !errors.Is(err, ErrNotFound) {
+				errs <- fmt.Errorf("miss resolve returned %v", err)
+				return
+			}
+		}
+	}
+	lister := func(cl *Client) {
+		defer wg.Done()
+		for i := 0; i < perWorker; i++ {
+			if _, err := cl.List(); err != nil {
+				errs <- fmt.Errorf("list: %w", err)
+				return
+			}
+		}
+	}
+	wg.Add(4)
+	go worker(cl0, 0)
+	go worker(cl1, 1)
+	go lister(cl0)
+	go lister(cl1)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := srv.Len(); n != 2*perWorker {
+		t.Errorf("server holds %d names, want %d", n, 2*perWorker)
+	}
+}
+
+// TestTimeoutUnifiedWithDeadline pins the stack-wide timeout vocabulary: a
+// names timeout matches ErrTimeout, core.ErrDeadline, and the standard
+// library's context.DeadlineExceeded under errors.Is.
+func TestTimeoutUnifiedWithDeadline(t *testing.T) {
+	m, err := cluster.New(cluster.Uniform(2, "p", core.MethodConfig{Name: "inproc"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := NewServer(m.Context(0)) // never polls, never answers
+	sp, err := core.TransferStartpoint(srv.Startpoint(), m.Context(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(m.Context(1), sp)
+	c.SetTimeout(50 * time.Millisecond)
+	_, rerr := c.Resolve("x")
+	for _, want := range []error{ErrTimeout, core.ErrDeadline, context.DeadlineExceeded} {
+		if !errors.Is(rerr, want) {
+			t.Errorf("errors.Is(%v, %v) = false", rerr, want)
+		}
 	}
 }

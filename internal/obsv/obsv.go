@@ -48,12 +48,18 @@ const (
 	StageHandler
 	// StageRelay is a forwarder's re-send of a frame addressed elsewhere.
 	StageRelay
+	// StageRPCCall is one RPC round trip as observed by the caller: from
+	// the request send to the completion of its future.
+	StageRPCCall
+	// StageRPCServe is a registered RPC handler's execution time on the
+	// serving context.
+	StageRPCServe
 
 	// NumStages is the number of instrumented stages.
-	NumStages = int(StageRelay) + 1
+	NumStages = int(StageRPCServe) + 1
 )
 
-var stageNames = [NumStages]string{"send", "dial", "poll", "queue", "handler", "relay"}
+var stageNames = [NumStages]string{"send", "dial", "poll", "queue", "handler", "relay", "rpc_call", "rpc_serve"}
 
 func (s Stage) String() string {
 	if int(s) < NumStages {

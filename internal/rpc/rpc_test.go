@@ -1,0 +1,567 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nexus/internal/buffer"
+	"nexus/internal/core"
+	_ "nexus/internal/simnet"
+	"nexus/internal/transport"
+	_ "nexus/internal/transport/inproc"
+	_ "nexus/internal/transport/local"
+	_ "nexus/internal/transport/rudp"
+	_ "nexus/internal/transport/secure"
+	_ "nexus/internal/transport/tcp"
+	_ "nexus/internal/transport/udp"
+	"nexus/internal/wire"
+)
+
+// tagSeq isolates test media (inproc exchanges, simnet fabrics) per fixture,
+// so -count=2 and parallel subtests never share a wire.
+var tagSeq atomic.Uint64
+
+func freshTag(base string) string {
+	return fmt.Sprintf("%s-%d", base, tagSeq.Add(1))
+}
+
+// newCtx builds a context (with the RPC layer attached) on isolated media.
+func newCtx(t testing.TB, tag, partition string, cfg core.RPCConfig, methods ...core.MethodConfig) (*core.Context, *RPC) {
+	t.Helper()
+	for i := range methods {
+		if methods[i].Params == nil {
+			methods[i].Params = transport.Params{}
+		}
+		switch methods[i].Name {
+		case "inproc":
+			methods[i].Params["exchange"] = tag
+		case "mpl", "wan":
+			methods[i].Params["fabric"] = tag
+		}
+	}
+	c, err := core.NewContext(core.Options{Partition: partition, Methods: methods})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, Enable(c, cfg)
+}
+
+// transferStartpoint carries an encoded startpoint into another context, the
+// way request envelopes carry reply startpoints.
+func transferStartpoint(t testing.TB, sp *core.Startpoint, dst *core.Context) *core.Startpoint {
+	t.Helper()
+	b := buffer.New(512)
+	sp.Encode(b)
+	dec, err := buffer.FromBytes(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.DecodeStartpoint(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// inprocPair builds a caller/server pair joined by an isolated inproc
+// exchange, with a background poller on the server side.
+func inprocPair(t testing.TB, base string, cfg core.RPCConfig) (callerC *core.Context, caller *RPC, server *RPC, sp *core.Startpoint) {
+	t.Helper()
+	tag := freshTag(base)
+	serverC, server := newCtx(t, tag, "", cfg, core.MethodConfig{Name: "inproc"})
+	callerC, caller = newCtx(t, tag, "", cfg, core.MethodConfig{Name: "inproc"})
+	ep := serverC.NewEndpoint()
+	sp = transferStartpoint(t, ep.NewStartpoint(), callerC)
+	t.Cleanup(serverC.StartPoller(0))
+	return callerC, caller, server, sp
+}
+
+func strBuf(s string) *buffer.Buffer {
+	b := buffer.New(len(s) + 8)
+	b.PutString(s)
+	return b
+}
+
+func echoHandler(req *Request, r *Responder) {
+	s := req.Payload.String()
+	_ = r.Reply(strBuf(s + "!"))
+}
+
+func TestCallReply(t *testing.T) {
+	_, caller, server, sp := inprocPair(t, "rpc-basic", core.RPCConfig{})
+	server.Register("echo", echoHandler)
+	f, err := caller.Call(sp, "echo", strBuf("hello"), CallOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.String(); got != "hello!" {
+		t.Fatalf("reply = %q, want %q", got, "hello!")
+	}
+	if !f.Done() {
+		t.Fatal("Done() false after Await")
+	}
+	// Await is idempotent.
+	res2, err := f.Await()
+	if err != nil || res2.Len() != res.Len() {
+		t.Fatalf("second Await = (%v, %v)", res2, err)
+	}
+}
+
+func TestNilRequestAndNilReply(t *testing.T) {
+	_, caller, server, sp := inprocPair(t, "rpc-nil", core.RPCConfig{})
+	server.Register("ping", func(req *Request, r *Responder) {
+		if req.Payload.Len() != 0 {
+			_ = r.Error(errors.New("expected empty request"))
+			return
+		}
+		_ = r.Reply(nil)
+	})
+	f, err := caller.Call(sp, "ping", nil, CallOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("nil reply decoded to %d bytes", res.Len())
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	_, caller, server, sp := inprocPair(t, "rpc-err", core.RPCConfig{})
+	server.Register("fail", func(req *Request, r *Responder) {
+		_ = r.Error(errors.New("boom"))
+	})
+	f, err := caller.Call(sp, "fail", nil, CallOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.Await()
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("Await error = %v, want RemoteError", err)
+	}
+	if re.Msg != "boom" || re.Method != "fail" {
+		t.Fatalf("RemoteError = %+v", re)
+	}
+}
+
+func TestUnknownHandler(t *testing.T) {
+	_, caller, _, sp := inprocPair(t, "rpc-unknown", core.RPCConfig{})
+	f, err := caller.Call(sp, "nope", nil, CallOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.Await()
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("Await error = %v, want RemoteError", err)
+	}
+}
+
+func TestDeadlineExpiresAndCancelsServerWork(t *testing.T) {
+	_, caller, server, sp := inprocPair(t, "rpc-deadline", core.RPCConfig{})
+	var serverSawCancel atomic.Bool
+	server.Register("slow", func(req *Request, r *Responder) {
+		// Defer the reply: hold the responder, watch the call context from a
+		// goroutine, and never actually answer.
+		ctx := req.Context()
+		go func() {
+			<-ctx.Done()
+			serverSawCancel.Store(true)
+		}()
+	})
+	f, err := caller.Call(sp, "slow", nil, CallOptions{Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	_, err = f.Await()
+	if err == nil {
+		t.Fatal("Await succeeded, want deadline error")
+	}
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("error %v does not match ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not match context.DeadlineExceeded", err)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", d)
+	}
+	// The server's call context fires at the wire-propagated deadline.
+	deadline := time.Now().Add(10 * time.Second)
+	for !serverSawCancel.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("server-side call context never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFutureCancelStopsServerWork(t *testing.T) {
+	_, caller, server, sp := inprocPair(t, "rpc-cancel", core.RPCConfig{})
+	var serverSawCancel atomic.Bool
+	started := make(chan struct{}, 1)
+	server.Register("slow", func(req *Request, r *Responder) {
+		ctx := req.Context()
+		started <- struct{}{}
+		go func() {
+			<-ctx.Done()
+			serverSawCancel.Store(true)
+		}()
+	})
+	f, err := caller.Call(sp, "slow", nil, CallOptions{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	f.Cancel()
+	_, err = f.Await()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Await after Cancel = %v, want ErrCanceled", err)
+	}
+	// The wire cancel reaches the server and fires the handler's context
+	// well before its 30s deadline.
+	deadline := time.Now().Add(10 * time.Second)
+	for !serverSawCancel.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never observed the cancel")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestResponderCompletesOnce(t *testing.T) {
+	_, caller, server, sp := inprocPair(t, "rpc-once", core.RPCConfig{})
+	errs := make(chan error, 2)
+	server.Register("twice", func(req *Request, r *Responder) {
+		errs <- r.Reply(strBuf("first"))
+		errs <- r.Reply(strBuf("second"))
+	})
+	f, err := caller.Call(sp, "twice", nil, CallOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.String(); got != "first" {
+		t.Fatalf("reply = %q", got)
+	}
+	if e := <-errs; e != nil {
+		t.Fatalf("first Reply: %v", e)
+	}
+	if e := <-errs; !errors.Is(e, ErrAlreadyReplied) {
+		t.Fatalf("second Reply = %v, want ErrAlreadyReplied", e)
+	}
+}
+
+// TestDuplicateReplySuppression injects the same response frame twice, the
+// way a failover-retried request produces two replies under one call id: the
+// Future must complete once and the copy must be counted as a duplicate.
+func TestDuplicateReplySuppression(t *testing.T) {
+	callerC, caller, server, sp := inprocPair(t, "rpc-dup", core.RPCConfig{})
+	server.Register("echo", echoHandler)
+	f, err := caller.Call(sp, "echo", strBuf("x"), CallOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Await()
+	if err != nil || res.String() != "x!" {
+		t.Fatalf("Await = (%v, %v)", res, err)
+	}
+	// Re-deliver the response intake for the (now completed) call id.
+	rb := strBuf("x!")
+	caller.intake(core.RPCInbound{
+		RPC:     wire.RPCExt{Call: f.pc.id, Kind: wire.RPCResponse},
+		Payload: rb.Encode(),
+	})
+	if n := callerC.Stats().Get("rpc.replies.duplicate"); n != 1 {
+		t.Fatalf("rpc.replies.duplicate = %d, want 1", n)
+	}
+	// The future's outcome is untouched: same result buffer, same nil error.
+	res2, err := f.Await()
+	if err != nil || res2 != res {
+		t.Fatalf("Await after duplicate = (%p, %v), want (%p, nil)", res2, err, res)
+	}
+}
+
+// TestRetriedRequestSingleCallback emulates the failover-retry shape end to
+// end: the same request frame (same call id) reaches the server twice, the
+// server serves it twice, and the caller's Future must still complete
+// exactly once, counting the second reply as a duplicate.
+func TestRetriedRequestSingleCallback(t *testing.T) {
+	callerC, caller, server, sp := inprocPair(t, "rpc-retry", core.RPCConfig{})
+	var served atomic.Int64
+	server.Register("echo", func(req *Request, r *Responder) {
+		served.Add(1)
+		_ = r.Reply(strBuf(req.Payload.String() + "!"))
+	})
+	f, err := caller.Call(sp, "echo", strBuf("req"), CallOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the request envelope a retry would carry — same call id, same
+	// reply startpoint — and inject it at the server as a second delivery.
+	env := buffer.New(len(caller.replyEnc) + 32)
+	env.PutBytes(caller.replyEnc)
+	env.PutBytes(strBuf("req").Encode())
+	server.intake(core.RPCInbound{
+		SrcContext: uint64(callerC.ID()),
+		Handler:    "echo",
+		RPC:        wire.RPCExt{Call: f.pc.id, Kind: wire.RPCRequest},
+		Payload:    env.Encode(),
+	})
+	res, err := f.Await()
+	if err != nil || res.String() != "req!" {
+		t.Fatalf("Await = (%v, %v)", res, err)
+	}
+	// Both serves happened; only one reply completed the future.
+	deadline := time.Now().Add(10 * time.Second)
+	for callerC.Stats().Get("rpc.replies.duplicate") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("duplicate reply never counted (served=%d)", served.Load())
+		}
+		callerC.PollUntil(func() bool { return false }, time.Millisecond)
+	}
+	if served.Load() != 2 {
+		t.Fatalf("server served %d times, want 2", served.Load())
+	}
+	if n := callerC.Stats().Get("rpc.replies"); n != 1 {
+		t.Fatalf("rpc.replies = %d, want 1", n)
+	}
+}
+
+func TestStreamingOrder(t *testing.T) {
+	_, caller, server, sp := inprocPair(t, "rpc-stream", core.RPCConfig{})
+	const n = 10
+	server.Register("count", func(req *Request, r *Responder) {
+		for i := 0; i < n; i++ {
+			b := buffer.New(8)
+			b.PutInt(i)
+			if err := r.Send(b); err != nil {
+				t.Errorf("Send(%d): %v", i, err)
+			}
+		}
+		if err := r.End(); err != nil {
+			t.Errorf("End: %v", err)
+		}
+	})
+	s, err := caller.CallStream(sp, "count", nil, CallOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		ch, err := s.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if got := ch.Int(); got != i {
+			t.Fatalf("chunk %d carried %d", i, got)
+		}
+	}
+	if _, err := s.Recv(); err != io.EOF {
+		t.Fatalf("post-stream Recv = %v, want io.EOF", err)
+	}
+	if _, err := s.Recv(); err != io.EOF {
+		t.Fatalf("repeated Recv = %v, want io.EOF", err)
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	_, caller, server, sp := inprocPair(t, "rpc-stream-empty", core.RPCConfig{})
+	server.Register("none", func(req *Request, r *Responder) { _ = r.End() })
+	s, err := caller.CallStream(sp, "none", nil, CallOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recv(); err != io.EOF {
+		t.Fatalf("Recv on empty stream = %v, want io.EOF", err)
+	}
+}
+
+func TestStreamErrorMidway(t *testing.T) {
+	_, caller, server, sp := inprocPair(t, "rpc-stream-err", core.RPCConfig{})
+	server.Register("flaky", func(req *Request, r *Responder) {
+		_ = r.Send(strBuf("a"))
+		_ = r.Send(strBuf("b"))
+		_ = r.Error(errors.New("midway"))
+	})
+	s, err := caller.CallStream(sp, "flaky", nil, CallOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		_, err := s.Recv()
+		if err == nil {
+			got++
+			continue
+		}
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Msg != "midway" {
+			t.Fatalf("stream error = %v, want RemoteError(midway)", err)
+		}
+		break
+	}
+	// The error may beat unconsumed chunks (it completes the call), so got
+	// can be 0..2 — but never more than the server sent.
+	if got > 2 {
+		t.Fatalf("received %d chunks, server sent 2", got)
+	}
+}
+
+func TestStreamUnaryReplyBridges(t *testing.T) {
+	_, caller, server, sp := inprocPair(t, "rpc-stream-unary", core.RPCConfig{})
+	server.Register("echo", echoHandler)
+	s, err := caller.CallStream(sp, "echo", strBuf("one"), CallOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := s.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.String(); got != "one!" {
+		t.Fatalf("bridged chunk = %q", got)
+	}
+	if _, err := s.Recv(); err != io.EOF {
+		t.Fatalf("second Recv = %v, want io.EOF", err)
+	}
+}
+
+func TestBulkHandlePull(t *testing.T) {
+	callerC, caller, server, sp := inprocPair(t, "rpc-bulk",
+		core.RPCConfig{BulkThreshold: 1 << 10})
+	server.Register("size", func(req *Request, r *Responder) {
+		data := req.Payload.BytesValue()
+		b := buffer.New(8)
+		b.PutInt(len(data))
+		_ = r.Reply(b)
+	})
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	req := buffer.New(len(payload) + 8)
+	req.PutBytes(payload)
+	f, err := caller.Call(sp, "size", req, CallOptions{Timeout: 15 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Int(); got != len(payload) {
+		t.Fatalf("server saw %d bytes, want %d", got, len(payload))
+	}
+	if n := callerC.Stats().Get("rpc.pull_data"); n != 1 {
+		t.Fatalf("rpc.pull_data = %d, want 1 (bulk path not taken)", n)
+	}
+}
+
+// TestBulkPullSingleTransfer: a duplicated RequestHandle (failover retry)
+// must not trigger a second payload transfer — the parked entry is consumed
+// by the first pull.
+func TestBulkPullSingleTransfer(t *testing.T) {
+	callerC, caller, server, sp := inprocPair(t, "rpc-bulk-once",
+		core.RPCConfig{BulkThreshold: 1 << 10})
+	server.Register("size", func(req *Request, r *Responder) {
+		b := buffer.New(8)
+		b.PutInt(req.Payload.Len())
+		_ = r.Reply(b)
+	})
+	req := buffer.New(4 << 10)
+	req.PutBytes(make([]byte, 4<<10))
+	f, err := caller.Call(sp, "size", req, CallOptions{Timeout: 15 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Await(); err != nil {
+		t.Fatal(err)
+	}
+	// A second pull for the same call finds nothing parked.
+	caller.intake(core.RPCInbound{
+		SrcContext: uint64(callerC.ID()),
+		RPC:        wire.RPCExt{Call: f.pc.id, Kind: wire.RPCPull},
+		Payload:    buffer.New(0).Encode(),
+	})
+	if n := callerC.Stats().Get("rpc.pull_data"); n != 1 {
+		t.Fatalf("rpc.pull_data = %d, want exactly 1", n)
+	}
+	if n := callerC.Stats().Get("rpc.orphan_frames"); n != 1 {
+		t.Fatalf("rpc.orphan_frames = %d, want 1", n)
+	}
+}
+
+func TestCallNotEnabled(t *testing.T) {
+	tag := freshTag("rpc-disabled")
+	c, err := core.NewContext(core.Options{
+		Methods: []core.MethodConfig{{Name: "inproc", Params: transport.Params{"exchange": tag}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	sp := c.NewEndpoint().NewStartpoint()
+	if _, err := Call(sp, "x", nil, CallOptions{}); !errors.Is(err, ErrNotEnabled) {
+		t.Fatalf("Call on bare context = %v, want ErrNotEnabled", err)
+	}
+	if err := Register(c, "x", func(*Request, *Responder) {}); !errors.Is(err, ErrNotEnabled) {
+		t.Fatalf("Register on bare context = %v, want ErrNotEnabled", err)
+	}
+}
+
+func TestTimeoutNegativeMeansNone(t *testing.T) {
+	_, caller, server, sp := inprocPair(t, "rpc-notimeout",
+		core.RPCConfig{DefaultTimeout: -1})
+	server.Register("echo", echoHandler)
+	f, err := caller.Call(sp, "echo", strBuf("a"), CallOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.pc.deadline != (time.Time{}) {
+		t.Fatalf("negative DefaultTimeout still set deadline %v", f.pc.deadline)
+	}
+	if _, err := f.Await(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRPCLatenciesPublished(t *testing.T) {
+	callerC, caller, server, sp := inprocPair(t, "rpc-lat", core.RPCConfig{})
+	callerC.EnableStats()
+	server.Register("echo", echoHandler)
+	f, err := caller.Call(sp, "echo", strBuf("a"), CallOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Await(); err != nil {
+		t.Fatal(err)
+	}
+	snap := callerC.Observe()
+	found := false
+	for _, l := range snap.Latencies {
+		if l.Method == "rpc:echo" && l.Stage == "rpc_call" && l.Count >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no rpc:echo/rpc_call latency in snapshot: %+v", snap.Latencies)
+	}
+}

@@ -48,6 +48,14 @@ func FuzzDecode(f *testing.F) {
 	reservedClass := (&Frame{Type: TypeRSR, Flags: FlagTrace, Handler: "r"}).Encode()
 	reservedClass[3] |= ClassMask
 	f.Add(reservedClass)
+	// RPC-extension seeds: a request, and a corrupt kind byte, steering the
+	// fuzzer into the FlagRPC parse path (FuzzDecodeRPCExt goes deeper).
+	rpc := (&Frame{Type: TypeRSR, Flags: FlagRPC,
+		RPC: RPCExt{Call: 11, Kind: RPCRequest, Aux: 12}, Handler: "rpc"}).Encode()
+	f.Add(rpc)
+	badKind := append([]byte(nil), rpc...)
+	badKind[headerFixed+1+8] = 0xEE
+	f.Add(badKind)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := Decode(data)
 		if err != nil {

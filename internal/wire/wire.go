@@ -77,6 +77,10 @@ const (
 	// (or probed) byte total (8) and frame total (8).
 	creditExtLen = 8 + 8
 
+	// rpcExtLen is the size of the RPC extension: call id (8), kind (1),
+	// and the kind-dependent auxiliary word (8).
+	rpcExtLen = 8 + 1 + 8
+
 	// MaxFrameLen is the largest encoded frame any version can produce:
 	// extended fixed header, maximal handler name, every extension, payload
 	// length prefix, and maximal payload. Stream and datagram transports use
@@ -84,7 +88,7 @@ const (
 	// (MaxPayload plus a hand-picked slack) undercounted the header and
 	// could kill a connection carrying a legal frame with a maximal handler
 	// name.
-	MaxFrameLen = headerFixed + 1 + traceExtLen + fragExtLen + creditExtLen + MaxHandlerLen + 4 + MaxPayload
+	MaxFrameLen = headerFixed + 1 + traceExtLen + fragExtLen + creditExtLen + rpcExtLen + MaxHandlerLen + 4 + MaxPayload
 )
 
 // Header extension flags (versionExt frames only).
@@ -112,15 +116,65 @@ const (
 	// byte, bits 3-4. Class bits select no extension — they change frame
 	// treatment (dispatch lane, shed policy), not header length — but a
 	// nonzero class still forces the versionExt header since v1 has no flags
-	// byte. Bits 5-7 stay reserved and are rejected as unknown.
+	// byte. Bits 6-7 stay reserved and are rejected as unknown.
 	classShift = 3
 	ClassMask  = byte(3 << classShift)
+
+	// FlagRPC marks a request/response correlation extension: the 8-byte
+	// call id shared by every frame of one logical call, a kind byte
+	// discriminating request, response, error, cancel, stream chunk/end, and
+	// bulk-handle pull traffic, and a kind-dependent 8-byte auxiliary word
+	// (absolute deadline in unix nanoseconds on requests, chunk index on
+	// stream chunks, chunk count on stream ends, payload size on bulk
+	// handles). It follows the credit extension (flag-bit order) and
+	// precedes the handler name.
+	FlagRPC = byte(1 << 5)
 
 	// knownFlags is the set of flags this decoder understands. Unknown flags
 	// change the header length, so a frame carrying any is undecodable and
 	// rejected rather than misparsed.
-	knownFlags = FlagTrace | FlagFrag | FlagCredit | ClassMask
+	knownFlags = FlagTrace | FlagFrag | FlagCredit | ClassMask | FlagRPC
 )
+
+// RPC extension kinds (RPCExt.Kind). Kind 0 and values beyond RPCMaxKind are
+// rejected by the decoder as ErrBadRPC so they can later take on meaning
+// without old decoders misreading them.
+const (
+	// RPCRequest is a call whose argument payload travels in the frame; Aux
+	// is the caller's absolute deadline in unix nanoseconds (0 for none).
+	RPCRequest = byte(1)
+	// RPCResponse is a successful reply; the payload is the result buffer.
+	RPCResponse = byte(2)
+	// RPCError is a failed reply; the payload carries the error message.
+	RPCError = byte(3)
+	// RPCCancel tells the callee the caller has given up on the call.
+	RPCCancel = byte(4)
+	// RPCStreamChunk is one element of a streaming reply; Aux is the chunk's
+	// sequence index, so receivers can reorder datagram deliveries.
+	RPCStreamChunk = byte(5)
+	// RPCStreamEnd terminates a streaming reply; Aux is the chunk count.
+	RPCStreamEnd = byte(6)
+	// RPCPull asks the caller to send a bulk argument announced by an
+	// earlier RPCRequestHandle.
+	RPCPull = byte(7)
+	// RPCPullData carries the pulled bulk argument back to the callee.
+	RPCPullData = byte(8)
+	// RPCRequestHandle is a call whose argument exceeded the bulk threshold:
+	// the payload is a compact handle and the callee pulls the real argument
+	// with RPCPull. Aux is the deadline, as for RPCRequest.
+	RPCRequestHandle = byte(9)
+
+	// RPCMaxKind is the largest kind the decoder accepts.
+	RPCMaxKind = RPCRequestHandle
+)
+
+// RPCExt is the decoded FlagRPC extension: one call's correlation id, the
+// frame's role within the call, and the kind-dependent auxiliary word.
+type RPCExt struct {
+	Call uint64
+	Kind byte
+	Aux  uint64
+}
 
 // Class is a frame's priority class, carried in the flags byte (bits 3-4).
 // The zero value is ClassNormal, which encodes as no class bits at all — so
@@ -164,6 +218,7 @@ var (
 	ErrOversize   = errors.New("wire: frame exceeds size limits")
 	ErrBadFlags   = errors.New("wire: unknown or empty header flags")
 	ErrBadFrag    = errors.New("wire: invalid fragment extension")
+	ErrBadRPC     = errors.New("wire: invalid rpc extension")
 )
 
 // Frame is a decoded message frame.
@@ -198,6 +253,8 @@ type Frame struct {
 	// sender has debited.
 	CreditBytes  uint64
 	CreditFrames uint64
+	// RPC carries the FlagRPC extension (zero when the flag is absent).
+	RPC RPCExt
 	// Handler names the remote handler to invoke.
 	Handler string
 	// Payload is the encoded argument buffer (see internal/buffer).
@@ -212,6 +269,9 @@ func (f *Frame) HasFrag() bool { return f.Flags&FlagFrag != 0 }
 
 // HasCredit reports whether the frame carries the credit extension.
 func (f *Frame) HasCredit() bool { return f.Flags&FlagCredit != 0 }
+
+// HasRPC reports whether the frame carries the RPC extension.
+func (f *Frame) HasRPC() bool { return f.Flags&FlagRPC != 0 }
 
 // Class reports the frame's priority class from its flag bits.
 func (f *Frame) Class() Class { return Class((f.Flags & ClassMask) >> classShift) }
@@ -231,6 +291,9 @@ func extLen(flags byte) int {
 	}
 	if flags&FlagCredit != 0 {
 		n += creditExtLen
+	}
+	if flags&FlagRPC != 0 {
+		n += rpcExtLen
 	}
 	return n
 }
@@ -286,6 +349,8 @@ type Ext struct {
 	// CreditBytes and CreditFrames fill the FlagCredit extension.
 	CreditBytes  uint64
 	CreditFrames uint64
+	// RPC fills the FlagRPC extension.
+	RPC RPCExt
 }
 
 // EncodeHeaderExt is EncodeHeader for a frame carrying header extensions:
@@ -319,6 +384,12 @@ func EncodeHeaderExt(dst []byte, typ, flags byte, destCtx, destEP, srcCtx uint64
 		binary.BigEndian.PutUint64(dst[n:], ext.CreditBytes)
 		binary.BigEndian.PutUint64(dst[n+8:], ext.CreditFrames)
 		n += creditExtLen
+	}
+	if flags&FlagRPC != 0 {
+		binary.BigEndian.PutUint64(dst[n:], ext.RPC.Call)
+		dst[n+8] = ext.RPC.Kind
+		binary.BigEndian.PutUint64(dst[n+9:], ext.RPC.Aux)
+		n += rpcExtLen
 	}
 	n += copy(dst[n:], handler)
 	binary.BigEndian.PutUint32(dst[n:], uint32(payloadLen))
@@ -356,7 +427,7 @@ func (f *Frame) EncodeTo(dst []byte) int {
 	n := EncodeHeaderExt(dst, f.Type, f.Flags,
 		f.DestContext, f.DestEndpoint, f.SrcContext,
 		Ext{Trace: f.Trace, FragID: f.FragID, FragIndex: f.FragIndex, FragTotal: f.FragTotal,
-			CreditBytes: f.CreditBytes, CreditFrames: f.CreditFrames},
+			CreditBytes: f.CreditBytes, CreditFrames: f.CreditFrames, RPC: f.RPC},
 		f.Handler, len(f.Payload))
 	n += copy(dst[n:], f.Payload)
 	return n
@@ -393,6 +464,7 @@ func DecodeInto(f *Frame, p []byte) error {
 		f.Trace = [16]byte{}
 		f.FragID, f.FragIndex, f.FragTotal = 0, 0, 0
 		f.CreditBytes, f.CreditFrames = 0, 0
+		f.RPC = RPCExt{}
 		f.Type = p[2]
 		f.DestContext = binary.BigEndian.Uint64(p[3:])
 		f.DestEndpoint = binary.BigEndian.Uint64(p[11:])
@@ -457,6 +529,22 @@ func DecodeInto(f *Frame, p []byte) error {
 			n += creditExtLen
 		} else {
 			f.CreditBytes, f.CreditFrames = 0, 0
+		}
+		if flags&FlagRPC != 0 {
+			if len(p) < n+rpcExtLen+4 {
+				return ErrShortFrame
+			}
+			f.RPC.Call = binary.BigEndian.Uint64(p[n:])
+			f.RPC.Kind = p[n+8]
+			f.RPC.Aux = binary.BigEndian.Uint64(p[n+9:])
+			// Kind 0 is never encoded and kinds beyond RPCMaxKind belong to
+			// future protocol revisions: reject rather than misinterpret.
+			if f.RPC.Kind == 0 || f.RPC.Kind > RPCMaxKind {
+				return ErrBadRPC
+			}
+			n += rpcExtLen
+		} else {
+			f.RPC = RPCExt{}
 		}
 	default:
 		return ErrBadVersion

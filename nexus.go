@@ -48,6 +48,7 @@ import (
 	"nexus/internal/obsv"
 	"nexus/internal/pipeline"
 	"nexus/internal/resource"
+	"nexus/internal/rpc"
 	"nexus/internal/transport"
 
 	// Standard communication modules register themselves with the default
@@ -204,10 +205,23 @@ const (
 	ClassBulk    = core.ClassBulk
 )
 
+// NewContext creates a context and initializes its modules. When
+// Options.RPC.Enabled is set, the request/response layer (internal/rpc) is
+// attached before the context is returned: RegisterRPC, Call, and CallStream
+// work immediately.
+func NewContext(opts Options) (*Context, error) {
+	c, err := core.NewContext(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.RPC.Enabled {
+		rpc.Enable(c, opts.RPC)
+	}
+	return c, nil
+}
+
 // Core constructors, selection policies, and helpers.
 var (
-	// NewContext creates a context and initializes its modules.
-	NewContext = core.NewContext
 	// WithHandler sets an endpoint's default handler.
 	WithHandler = core.WithHandler
 	// WithData binds a local address (user data) to an endpoint.
@@ -252,6 +266,55 @@ var (
 	// link's receive window is exhausted and the send's class or the
 	// configured block timeout did not permit waiting for a refill.
 	ErrNoCredit = core.ErrNoCredit
+	// ErrDeadline matches (errors.Is) every deadline expiry in the stack —
+	// RPC calls, name-service requests, MPI receives — and also matches
+	// context.DeadlineExceeded, so standard-library code composes.
+	ErrDeadline = core.ErrDeadline
+)
+
+// Request/response RPC and streaming layered on RSR (internal/rpc). Enable
+// with Options.RPC, register server methods with RegisterRPC, and call with
+// Call (unary, returns a Future) or CallStream (ordered chunk stream).
+type (
+	// RPCConfig enables and tunes the request/response layer (Options.RPC).
+	RPCConfig = core.RPCConfig
+	// Future is the rendezvous for one unary RPC (Call).
+	Future = rpc.Future
+	// Stream is the rendezvous for one streaming RPC (CallStream).
+	Stream = rpc.Stream
+	// RPCRequest is one inbound call as seen by an RPCHandler.
+	RPCRequest = rpc.Request
+	// Responder completes one inbound call: Reply, Error, or Send.../End.
+	Responder = rpc.Responder
+	// RPCHandler serves inbound calls for one registered method name.
+	RPCHandler = rpc.Handler
+	// CallOptions tunes one call's deadline.
+	CallOptions = rpc.CallOptions
+	// RemoteError is a handler failure reported by the serving context.
+	RemoteError = rpc.RemoteError
+)
+
+// RPC entry points and errors.
+var (
+	// Call starts a unary request on a startpoint whose owning context has
+	// the RPC layer attached.
+	Call = rpc.Call
+	// CallStream starts a streaming request.
+	CallStream = rpc.CallStream
+	// RegisterRPC installs the handler serving one RPC method name.
+	RegisterRPC = rpc.Register
+	// EnableRPC attaches the RPC layer to an already-built context (for
+	// contexts not constructed through nexus.NewContext, e.g. machine
+	// bootstrap).
+	EnableRPC = rpc.Enable
+	// ErrRPCNotEnabled reports an RPC operation on a context without the
+	// layer attached.
+	ErrRPCNotEnabled = rpc.ErrNotEnabled
+	// ErrCallCanceled reports a call abandoned by Future.Cancel or
+	// Stream.Cancel.
+	ErrCallCanceled = rpc.ErrCanceled
+	// ErrAlreadyReplied reports a second completion on one Responder.
+	ErrAlreadyReplied = rpc.ErrAlreadyReplied
 )
 
 // Typed message buffers (internal/buffer).
