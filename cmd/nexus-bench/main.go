@@ -1,11 +1,12 @@
 // nexus-bench runs the performance benchmarks that track the library's
-// trajectory — the cross-method ping-pong matrix plus the shared-memory
-// module's raw ring numbers — and writes them machine-readable so CI can
-// archive one JSON artifact per run and diff regressions across commits.
+// trajectory — the cross-method ping-pong matrix, the shared-memory module's
+// raw ring numbers, and the cluster-scale gossip convergence curve — and
+// writes them machine-readable so CI can archive one JSON artifact per run
+// and diff regressions across commits.
 //
-//	nexus-bench                  # writes BENCH_9.json in the current dir
+//	nexus-bench                  # writes BENCH_10.json in the current dir
 //	nexus-bench -o perf.json
-//	nexus-bench -quick           # ~10× shorter runs for smoke checks
+//	nexus-bench -quick           # shorter runs for smoke checks
 package main
 
 import (
@@ -21,12 +22,13 @@ import (
 	"time"
 
 	"nexus"
+	"nexus/internal/cluster"
 	"nexus/internal/transport"
 	"nexus/internal/transport/shm"
 )
 
 var (
-	out   = flag.String("o", "BENCH_9.json", "output file")
+	out   = flag.String("o", "BENCH_10.json", "output file")
 	quick = flag.Bool("quick", false, "shorter runs (CI smoke)")
 )
 
@@ -100,6 +102,26 @@ func main() {
 		rep.Results = append(rep.Results,
 			Result{Name: "shm/ring-pingpong/64B", Skipped: true},
 			Result{Name: "shm/bulk-bandwidth/256KiB", Skipped: true})
+	}
+
+	// Cluster-scale gossip convergence curve: rounds (the N column) and wall
+	// time (ns_per_op = whole-phase elapsed) to registry agreement at growing
+	// context counts. Quick runs measure the join phase only; full runs add
+	// churn (leaves, crashes, fresh joins) and an even/odd partition heal.
+	for _, n := range []int{100, 500, 1000} {
+		phases, err := cluster.RunScale(cluster.ScaleSpec{N: n, Churn: !*quick})
+		if err != nil {
+			rep.Results = append(rep.Results, Result{Name: fmt.Sprintf("cluster-converge/%d", n), Failed: true})
+			continue
+		}
+		for _, p := range phases {
+			rep.Results = append(rep.Results, Result{
+				Name:    fmt.Sprintf("cluster-converge/%d/%s", n, p.Name),
+				N:       p.Rounds,
+				NsPerOp: float64(p.Elapsed.Nanoseconds()),
+				Failed:  !p.Converged,
+			})
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

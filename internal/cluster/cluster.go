@@ -47,6 +47,10 @@ type NodeSpec struct {
 	// Methods lists the node's communication methods in preference order
 	// (overrides the machine Database if both are set).
 	Methods []core.MethodConfig
+	// Forwarder marks this node a relay in dynamic machines: its gossip
+	// record advertises reachability for mesh routing. Ignored for static
+	// machines (use ConfigureForwarding there).
+	Forwarder bool
 }
 
 // Config describes a machine.
@@ -63,6 +67,15 @@ type Config struct {
 	Threaded bool
 	// Selector overrides the method selection policy on all nodes.
 	Selector core.Selector
+	// Dynamic switches the machine to gossip-based membership: instead of
+	// statically wiring every peer table at boot, each context gets a gossip
+	// agent (with this config; Forwarder comes from its NodeSpec) and every
+	// node joins through node 0. Tables then spread by anti-entropy —
+	// Machine.Settle drives the rounds in tests.
+	Dynamic *NodeConfig
+	// RelayTTL overrides the hop budget stamped on mesh-routed frames on
+	// every node (default core.DefaultRelayTTL).
+	RelayTTL int
 }
 
 var machineSeq atomic.Uint64
@@ -71,6 +84,7 @@ var machineSeq atomic.Uint64
 type Machine struct {
 	tag      string
 	contexts []*core.Context
+	nodes    []*Node // gossip agents (dynamic machines only)
 }
 
 // New boots a machine: creates every context, then exchanges descriptor
@@ -96,12 +110,44 @@ func New(cfg Config) (*Machine, error) {
 			Methods:   methods,
 			Threaded:  cfg.Threaded,
 			Selector:  cfg.Selector,
+			Cluster:   core.ClusterConfig{RelayTTL: cfg.RelayTTL},
 		})
 		if err != nil {
 			m.Close()
 			return nil, fmt.Errorf("cluster: creating node %d: %w", rank, err)
 		}
 		m.contexts = append(m.contexts, ctx)
+	}
+	if cfg.Dynamic != nil {
+		for rank, ctx := range m.contexts {
+			nc := *cfg.Dynamic
+			nc.Forwarder = cfg.Nodes[rank].Forwarder
+			if nc.Seed == 0 {
+				nc.Seed = int64(rank) + 1
+			}
+			m.nodes = append(m.nodes, Attach(ctx, nc))
+		}
+		// Each node joins through the first earlier member it can reach
+		// directly (rank 0 for uniform machines; the nearest same-partition
+		// member in heterogeneous ones). Anti-entropy merges the views.
+		for rank, n := range m.nodes {
+			if rank == 0 {
+				continue
+			}
+			var err error
+			joined := false
+			for s := 0; s < rank && !joined; s++ {
+				seedTable, seedEP := m.nodes[s].Bootstrap()
+				if err = n.Join(seedTable, seedEP); err == nil {
+					joined = true
+				}
+			}
+			if !joined {
+				m.Close()
+				return nil, fmt.Errorf("cluster: node %d joining: %w", rank, err)
+			}
+		}
+		return m, nil
 	}
 	m.wire()
 	return m, nil
@@ -148,6 +194,26 @@ func (m *Machine) Size() int { return len(m.contexts) }
 
 // Context returns the context at the given rank.
 func (m *Machine) Context(rank int) *core.Context { return m.contexts[rank] }
+
+// Node returns the gossip agent at the given rank (nil on static machines).
+func (m *Machine) Node(rank int) *Node {
+	if m.nodes == nil {
+		return nil
+	}
+	return m.nodes[rank]
+}
+
+// Settle drives gossip to convergence on a dynamic machine: each round Steps
+// every live agent and polls every context until deliveries quiesce, up to
+// maxRounds. It returns the number of rounds taken and whether every live
+// agent's registry fingerprint agreed (length included) when it stopped.
+// Static machines are vacuously settled.
+func (m *Machine) Settle(maxRounds int) (rounds int, ok bool) {
+	if m.nodes == nil {
+		return 0, true
+	}
+	return Settle(m.nodes, m.contexts, maxRounds)
+}
 
 // Ranks lists the ranks whose contexts are in the named partition.
 func (m *Machine) Ranks(partition string) []int {

@@ -1,0 +1,778 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nexus/internal/buffer"
+	"nexus/internal/core"
+	"nexus/internal/names"
+	"nexus/internal/obsv"
+	"nexus/internal/transport"
+)
+
+// This file implements dynamic membership: a gossip agent (Node) attached to
+// a context that maintains a versioned peer/descriptor registry
+// (names.Registry) by anti-entropy over ordinary Control-class RSRs. The
+// protocol is push-pull in three messages:
+//
+//	cluster.digest — a bounded, rotating-window summary of the sender's
+//	                 registry, plus the sender's own record (so one digest
+//	                 is also a join announcement);
+//	cluster.delta  — the records the responder holds that the digest lacks,
+//	                 plus a want-list of origins where the digest was ahead;
+//	cluster.push   — the records answering a want-list.
+//
+// Convergence needs no clocks and no ordering: names.Registry.Merge is a
+// deterministic join, so reordered, duplicated, and stale deliveries all
+// land on the same table. Applied records feed the live context through
+// RefreshPeerTable/RemovePeerTable, whose health-generation bump makes every
+// startpoint re-run method selection — a runtime method add/remove at one
+// context therefore changes what every peer selects, with no restarts and no
+// out-of-band table shipping. Forwarder reachability travels in the same
+// records, and mesh.go turns it into multi-hop routes.
+
+// Gossip protocol handler names (Control class, like flow-control grants).
+const (
+	handlerDigest = "cluster.digest"
+	handlerDelta  = "cluster.delta"
+	handlerPush   = "cluster.push"
+)
+
+// NodeConfig tunes a gossip agent. The zero value is usable: fanout 2,
+// bounded digests and deltas, auto-registration on.
+type NodeConfig struct {
+	// Forwarder advertises this context as a relay (and enables forwarding),
+	// so mesh routes may pass through it.
+	Forwarder bool
+	// Mesh enables multi-hop route computation over advertised forwarders.
+	Mesh bool
+	// Fanout is how many peers each Step contacts (default 2).
+	Fanout int
+	// Interval is Run's period between Steps (default 50ms).
+	Interval time.Duration
+	// MaxDigest bounds digest entries per message (default 512).
+	MaxDigest int
+	// MaxDelta bounds records per delta/push message (default 64).
+	MaxDelta int
+	// DisableAutoRegister stops the agent from pushing applied records into
+	// the context's peer tables. Scale harnesses that only measure registry
+	// convergence set it to skip a million table installs.
+	DisableAutoRegister bool
+	// SuspectAfter is how many consecutive failed sends to a peer mark it
+	// suspect (routed around); three times that declares it dead and
+	// publishes a third-party tombstone. Default 1 (suspect on first error).
+	SuspectAfter int
+	// Seed fixes peer-sampling randomness; 0 derives it from the context id.
+	Seed int64
+}
+
+func (cfg NodeConfig) withDefaults(id transport.ContextID) NodeConfig {
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 2
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 50 * time.Millisecond
+	}
+	if cfg.MaxDigest <= 0 {
+		cfg.MaxDigest = 512
+	}
+	if cfg.MaxDelta <= 0 {
+		cfg.MaxDelta = 64
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = int64(id)*0x9e3779b9 + 1
+	}
+	return cfg
+}
+
+// deadAfterFactor: a peer is declared dead (tombstoned) after
+// SuspectAfter*deadAfterFactor consecutive send failures.
+const deadAfterFactor = 3
+
+// spCacheCap bounds the gossip agent's cached reply startpoints.
+const spCacheCap = 64
+
+// Node is a context's gossip agent: one per clustered context.
+type Node struct {
+	ctx *core.Context
+	cfg NodeConfig
+	reg *names.Registry
+	ep  *core.Endpoint
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	self       names.Record
+	selfEnc    []byte // last advertised-table encoding published under self.Seq
+	appliedGen uint64 // registry generation applyRegistry last ran at
+	applied    map[transport.ContextID]appliedState
+	digestPos  int // rotating digest window cursor
+	probeTick  int
+	failures   map[transport.ContextID]int
+	suspects   map[transport.ContextID]bool
+	routed     map[transport.ContextID]routeState // mesh.go
+	// lastTables keeps each peer's most recent live table even after a
+	// tombstone (which carries none), so resurrection probes can still
+	// address the peer.
+	lastTables  map[transport.ContextID]*transport.Table
+	sps         map[spKey]*core.Startpoint
+	spOrder     []spKey
+	routesDirty bool
+	closed      bool
+	stopRun     chan struct{}
+}
+
+// appliedState remembers what version of a peer's record has been pushed into
+// the context's peer tables, so an unchanged record costs nothing to re-apply.
+type appliedState struct {
+	seq       uint64
+	hash      uint64
+	tombstone bool
+}
+
+type spKey struct {
+	ctx transport.ContextID
+	ep  uint64
+}
+
+// Attach builds a gossip agent on the context and registers its handlers.
+// The agent is passive until Join/Step/Run are called; the context's polling
+// drives message receipt. Forwarder agents enable frame forwarding
+// immediately, since mesh routes elsewhere may select them as hops.
+func Attach(ctx *core.Context, cfg NodeConfig) *Node {
+	cfg = cfg.withDefaults(ctx.ID())
+	n := &Node{
+		ctx:        ctx,
+		cfg:        cfg,
+		reg:        names.NewRegistry(),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		applied:    make(map[transport.ContextID]appliedState),
+		failures:   make(map[transport.ContextID]int),
+		suspects:   make(map[transport.ContextID]bool),
+		routed:     make(map[transport.ContextID]routeState),
+		lastTables: make(map[transport.ContextID]*transport.Table),
+		sps:        make(map[spKey]*core.Startpoint),
+	}
+	ctx.RegisterHandler(handlerDigest, n.onDigest)
+	ctx.RegisterHandler(handlerDelta, n.onDelta)
+	ctx.RegisterHandler(handlerPush, n.onPush)
+	n.ep = ctx.NewEndpoint()
+	if cfg.Forwarder {
+		ctx.EnableForwarding()
+	}
+	n.self = names.Record{
+		Origin:    ctx.ID(),
+		Seq:       1,
+		Forwarder: cfg.Forwarder,
+		Partition: ctx.Partition(),
+		GossipEP:  n.ep.ID(),
+		Table:     ctx.AdvertisedTable(),
+	}
+	n.selfEnc = encodeTable(n.self.Table)
+	n.reg.Merge(n.self)
+	ctx.SetClusterState(n)
+	ctx.SetClusterView(n.members)
+	return n
+}
+
+// NodeOf returns the gossip agent attached to the context, or nil.
+func NodeOf(ctx *core.Context) *Node {
+	n, _ := ctx.ClusterState().(*Node)
+	return n
+}
+
+// Context returns the agent's context.
+func (n *Node) Context() *core.Context { return n.ctx }
+
+// Registry exposes the agent's membership registry (shared, concurrent-safe).
+func (n *Node) Registry() *names.Registry { return n.reg }
+
+// Bootstrap returns the address a joining peer needs: this context's
+// advertised descriptor table and the gossip endpoint id. It is the only
+// thing that must travel out of band — every other table arrives by gossip.
+func (n *Node) Bootstrap() (*transport.Table, uint64) {
+	return n.ctx.AdvertisedTable(), n.ep.ID()
+}
+
+// Join announces this context to a seed peer: one digest message carrying our
+// own record and a summary of everything we already hold. The seed's delta
+// reply starts anti-entropy; subsequent Steps complete the bootstrap with no
+// further out-of-band input.
+func (n *Node) Join(seedTable *transport.Table, seedEP uint64) error {
+	if seedTable == nil || seedTable.Len() == 0 {
+		return fmt.Errorf("cluster: join needs a seed descriptor table")
+	}
+	seed := seedTable.Entries[0].Context
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("cluster: node %d has left", n.ctx.ID())
+	}
+	sp := n.startpointLocked(seed, seedEP, seedTable)
+	digest, next := n.reg.Digest(n.digestPos, n.cfg.MaxDigest)
+	n.digestPos = next
+	self := n.self
+	n.mu.Unlock()
+	err := n.sendDigest(sp, self, digest)
+	n.noteSend(seed, err)
+	if err != nil {
+		return fmt.Errorf("cluster: join via context %d: %w", seed, err)
+	}
+	n.ctx.Stats().Counter("cluster.join").Inc()
+	return nil
+}
+
+// Leave publishes a tombstone for this context under a fresh version and
+// pushes it directly to up to 2×fanout live peers (best effort — anti-entropy
+// spreads it regardless). The agent stops gossiping afterwards.
+func (n *Node) Leave() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.self = names.Record{
+		Origin:    n.self.Origin,
+		Seq:       n.self.Seq + 1,
+		Tombstone: true,
+		Partition: n.self.Partition,
+		GossipEP:  n.self.GossipEP,
+	}
+	tomb := n.self
+	n.reg.Merge(tomb)
+	peers := n.livePeersLocked()
+	n.rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	if max := 2 * n.cfg.Fanout; len(peers) > max {
+		peers = peers[:max]
+	}
+	targets := make([]*core.Startpoint, 0, len(peers))
+	for _, p := range peers {
+		targets = append(targets, n.startpointLocked(p.Origin, p.GossipEP, p.Table))
+	}
+	n.mu.Unlock()
+	for _, sp := range targets {
+		b := buffer.New(128)
+		b.PutUint64(uint64(tomb.Origin))
+		b.PutUint64(tomb.GossipEP)
+		names.EncodeRecords(b, []names.Record{tomb})
+		_ = sp.RSR(handlerPush, b)
+	}
+	n.ctx.Stats().Counter("cluster.leave").Inc()
+}
+
+// Closed reports whether the agent has left the cluster.
+func (n *Node) Closed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+// Step runs one gossip round: refresh the self record if the advertised
+// table changed, fold registry changes into the context's peer tables and
+// mesh routes, then send bounded digests to fanout random live peers.
+// Safe to call from any goroutine; typically driven by Run or a test loop.
+func (n *Node) Step() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.refreshSelfLocked()
+	n.applyRegistryLocked()
+	type dst struct {
+		sp     *core.Startpoint
+		origin transport.ContextID
+		probe  bool
+	}
+	peers := n.livePeersLocked()
+	n.rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	if len(peers) > n.cfg.Fanout {
+		peers = peers[:n.cfg.Fanout]
+	}
+	digest, next := n.reg.Digest(n.digestPos, n.cfg.MaxDigest)
+	n.digestPos = next
+	self := n.self
+	targets := make([]dst, 0, len(peers)+1)
+	for _, p := range peers {
+		targets = append(targets, dst{sp: n.startpointLocked(p.Origin, p.GossipEP, p.Table), origin: p.Origin})
+	}
+	// Resurrection probe: every few rounds, one digest goes to a random
+	// tombstoned peer. A peer that was wrongly declared dead (it was only
+	// partitioned away) thereby learns of its own tombstone, readopts its
+	// record at a higher version, and the halves reconcile — without this,
+	// two healed partitions each believe the other departed and never
+	// exchange another message. A genuinely dead peer just costs one failed
+	// send. The probe bypasses noteSend: a tombstoned peer has no liveness
+	// left to damage.
+	n.probeTick++
+	if n.probeTick%probeEvery == 0 {
+		var tombs []names.Record
+		for _, rec := range n.reg.Snapshot() {
+			if rec.Tombstone && rec.Origin != n.self.Origin && rec.GossipEP != 0 {
+				tombs = append(tombs, rec)
+			}
+		}
+		if len(tombs) > 0 {
+			p := tombs[n.rng.Intn(len(tombs))]
+			if t := n.lastTables[p.Origin]; t != nil {
+				targets = append(targets, dst{sp: n.startpointLocked(p.Origin, p.GossipEP, t), origin: p.Origin, probe: true})
+				n.ctx.Stats().Counter("cluster.probe.tx").Inc()
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, t := range targets {
+		err := n.sendDigest(t.sp, self, digest)
+		if t.probe {
+			if err != nil {
+				n.invalidateStartpoint(t.origin)
+			}
+		} else {
+			n.noteSend(t.origin, err)
+		}
+	}
+	// Send outcomes are fresh failure-detector evidence (suspects set or
+	// cleared); fold them into mesh routes now rather than a round later —
+	// this is what lets a route heal in the same round its relay's death
+	// (or resurrection) was observed.
+	n.mu.Lock()
+	if n.cfg.Mesh && n.routesDirty && !n.closed {
+		n.routesDirty = false
+		n.recomputeRoutesLocked()
+	}
+	n.mu.Unlock()
+	n.ctx.Stats().Counter("cluster.rounds").Inc()
+}
+
+// probeEvery is how often (in Steps) a node probes one tombstoned peer.
+const probeEvery = 4
+
+// Run drives Step on the configured interval from a background goroutine
+// until the returned stop function is called (or Leave).
+func (n *Node) Run() (stop func()) {
+	n.mu.Lock()
+	if n.stopRun != nil || n.closed {
+		n.mu.Unlock()
+		return func() {}
+	}
+	ch := make(chan struct{})
+	n.stopRun = ch
+	n.mu.Unlock()
+	go func() {
+		tick := time.NewTicker(n.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ch:
+				return
+			case <-tick.C:
+				n.Step()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(ch)
+			n.mu.Lock()
+			n.stopRun = nil
+			n.mu.Unlock()
+		})
+	}
+}
+
+// refreshSelfLocked republishes the self record when the context's advertised
+// table changed (a method enabled, disabled, or re-parameterised at runtime)
+// and recovers from observing our own tombstone or a higher version of
+// ourselves (a rejoin after a crash verdict): the record is readopted at one
+// past the highest sequence seen, so the live record wins everywhere.
+func (n *Node) refreshSelfLocked() {
+	if cur, ok := n.reg.Get(n.self.Origin); ok && (cur.Tombstone || cur.Seq > n.self.Seq) {
+		n.self.Seq = cur.Seq + 1
+		n.self.Tombstone = false
+		n.self.Table = n.ctx.AdvertisedTable()
+		n.selfEnc = encodeTable(n.self.Table)
+		n.reg.Merge(n.self)
+		n.ctx.Stats().Counter("cluster.self.rejoin").Inc()
+		return
+	}
+	t := n.ctx.AdvertisedTable()
+	enc := encodeTable(t)
+	if string(enc) == string(n.selfEnc) {
+		return
+	}
+	n.self.Seq++
+	n.self.Table = t
+	n.selfEnc = enc
+	n.reg.Merge(n.self)
+	n.ctx.Stats().Counter("cluster.self.refresh").Inc()
+}
+
+// applyRegistryLocked folds registry changes into the live context: applied
+// live records refresh the peer's descriptor table (bumping the health
+// generation, so in-flight startpoints re-select), tombstones remove it (so
+// subsequent sends fail fast with ErrNoTable instead of using a stale
+// descriptor), and any change marks mesh routes for recomputation.
+func (n *Node) applyRegistryLocked() {
+	gen := n.reg.Gen()
+	if gen != n.appliedGen {
+		n.appliedGen = gen
+		for _, rec := range n.reg.Snapshot() {
+			if rec.Origin == n.self.Origin {
+				continue
+			}
+			prev, seen := n.applied[rec.Origin]
+			if rec.Tombstone {
+				if seen && prev.tombstone {
+					continue
+				}
+				n.applied[rec.Origin] = appliedState{seq: rec.Seq, tombstone: true}
+				if !n.cfg.DisableAutoRegister {
+					n.ctx.RemovePeerTable(rec.Origin)
+				}
+				n.dropPeerLocked(rec.Origin)
+				n.routesDirty = true
+				n.ctx.Stats().Counter("cluster.applied.tombstone").Inc()
+				continue
+			}
+			h := rec.Hash()
+			if seen && !prev.tombstone && prev.seq == rec.Seq && prev.hash == h {
+				continue
+			}
+			n.applied[rec.Origin] = appliedState{seq: rec.Seq, hash: h}
+			if rec.Table != nil {
+				n.lastTables[rec.Origin] = rec.Table
+			}
+			delete(n.failures, rec.Origin)
+			delete(n.suspects, rec.Origin)
+			// Cached gossip startpoints to this peer rebind on next use, so a
+			// bootstrap-era binding cannot outlive the table it was built from.
+			n.closeSPsLocked(rec.Origin)
+			if !n.cfg.DisableAutoRegister && rec.Table != nil {
+				n.ctx.RefreshPeerTable(rec.Table)
+			}
+			n.routesDirty = true
+			n.ctx.Stats().Counter("cluster.applied.record").Inc()
+		}
+	}
+	if n.cfg.Mesh && n.routesDirty {
+		n.routesDirty = false
+		n.recomputeRoutesLocked()
+	}
+}
+
+// dropPeerLocked forgets per-peer send state for a departed origin.
+func (n *Node) dropPeerLocked(origin transport.ContextID) {
+	delete(n.failures, origin)
+	delete(n.suspects, origin)
+	n.closeSPsLocked(origin)
+}
+
+// closeSPsLocked evicts cached startpoints addressing the given origin.
+func (n *Node) closeSPsLocked(origin transport.ContextID) {
+	for k, sp := range n.sps {
+		if k.ctx == origin {
+			sp.Close()
+			delete(n.sps, k)
+		}
+	}
+}
+
+// livePeersLocked lists live records other than self.
+func (n *Node) livePeersLocked() []names.Record {
+	live := n.reg.Live()
+	out := live[:0]
+	for _, rec := range live {
+		if rec.Origin != n.self.Origin {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// startpointLocked returns a cached Control-class startpoint for a peer's
+// gossip endpoint. When the context has a registered peer table for the
+// target the startpoint resolves through it lazily — so it follows gossip
+// refreshes and mesh route installs automatically — otherwise the record's
+// own table is bound directly (the bootstrap case).
+func (n *Node) startpointLocked(ctx transport.ContextID, ep uint64, table *transport.Table) *core.Startpoint {
+	key := spKey{ctx: ctx, ep: ep}
+	if sp, ok := n.sps[key]; ok {
+		return sp
+	}
+	var bind *transport.Table
+	if n.ctx.PeerTable(ctx) == nil {
+		bind = table
+	}
+	sp := n.ctx.NewStartpointTo(ctx, ep, bind)
+	sp.SetClass(core.ClassControl)
+	if len(n.spOrder) >= spCacheCap {
+		oldest := n.spOrder[0]
+		n.spOrder = n.spOrder[1:]
+		if old, ok := n.sps[oldest]; ok {
+			old.Close()
+			delete(n.sps, oldest)
+		}
+	}
+	n.sps[key] = sp
+	n.spOrder = append(n.spOrder, key)
+	return sp
+}
+
+// invalidateStartpoint drops a cached startpoint after a send failure, so the
+// next message rebinds from current tables.
+func (n *Node) invalidateStartpoint(ctx transport.ContextID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for k, sp := range n.sps {
+		if k.ctx == ctx {
+			sp.Close()
+			delete(n.sps, k)
+		}
+	}
+}
+
+// noteSend is the failure detector: consecutive send failures first mark the
+// peer suspect (mesh routes avoid it), then declare it dead with a
+// third-party tombstone at one past its last version — the no-clock analogue
+// of a crash notice. Any success clears the slate.
+func (n *Node) noteSend(origin transport.ContextID, err error) {
+	if err == nil {
+		n.mu.Lock()
+		if n.failures[origin] != 0 || n.suspects[origin] {
+			delete(n.failures, origin)
+			delete(n.suspects, origin)
+			n.routesDirty = true
+		}
+		n.mu.Unlock()
+		return
+	}
+	n.invalidateStartpoint(origin)
+	n.mu.Lock()
+	n.failures[origin]++
+	f := n.failures[origin]
+	if f >= n.cfg.SuspectAfter && !n.suspects[origin] {
+		n.suspects[origin] = true
+		n.routesDirty = true
+		n.ctx.Stats().Counter("cluster.peer.suspect").Inc()
+	}
+	dead := f >= n.cfg.SuspectAfter*deadAfterFactor
+	var tomb names.Record
+	if dead {
+		if rec, ok := n.reg.Get(origin); ok && !rec.Tombstone {
+			tomb = names.Record{
+				Origin:    origin,
+				Seq:       rec.Seq + 1,
+				Tombstone: true,
+				Partition: rec.Partition,
+				GossipEP:  rec.GossipEP,
+			}
+		} else {
+			dead = false
+		}
+	}
+	n.mu.Unlock()
+	if dead {
+		n.reg.Merge(tomb)
+		n.ctx.Stats().Counter("cluster.peer.dead").Inc()
+	}
+}
+
+// sendDigest ships one digest message: [from][fromEP][self record][digest].
+func (n *Node) sendDigest(sp *core.Startpoint, self names.Record, d names.Digest) error {
+	b := buffer.New(256 + 24*len(d.Entries))
+	b.PutUint64(uint64(self.Origin))
+	b.PutUint64(self.GossipEP)
+	names.EncodeRecords(b, []names.Record{self})
+	d.Encode(b)
+	err := sp.RSR(handlerDigest, b)
+	if err == nil {
+		n.ctx.Stats().Counter("cluster.digest.tx").Inc()
+	}
+	return err
+}
+
+// replyTo builds a startpoint back to a message's sender. The sender's own
+// record rode in the message, so its table is always available even before
+// the registry has it.
+func (n *Node) replyTo(from transport.ContextID, fromEP uint64, senderTable *transport.Table) *core.Startpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.startpointLocked(from, fromEP, senderTable)
+}
+
+// onDigest answers a digest with the delta the sender lacks and a want-list
+// push request for what we lack (rolled into the same delta message).
+func (n *Node) onDigest(_ *core.Endpoint, b *buffer.Buffer) {
+	from := transport.ContextID(b.Uint64())
+	fromEP := b.Uint64()
+	recs, err := names.DecodeRecords(b)
+	if err != nil || b.Err() != nil {
+		n.ctx.Stats().Counter("cluster.decode.errors").Inc()
+		return
+	}
+	digest, err := names.DecodeDigest(b)
+	if err != nil {
+		n.ctx.Stats().Counter("cluster.decode.errors").Inc()
+		return
+	}
+	n.ctx.Stats().Counter("cluster.digest.rx").Inc()
+	var senderTable *transport.Table
+	for _, r := range recs {
+		if r.Origin == from {
+			senderTable = r.Table
+		}
+	}
+	n.reg.MergeAll(recs)
+	delta, wants := n.reg.DeltaFor(digest, n.cfg.MaxDelta)
+	// Never ship the sender its own record back: it is the authority on it
+	// (and during a leave push race, echoing it would be pure noise).
+	trimmed := delta[:0]
+	for _, r := range delta {
+		if r.Origin != from {
+			trimmed = append(trimmed, r)
+		}
+	}
+	delta = trimmed
+	if len(delta) == 0 && len(wants) == 0 {
+		return
+	}
+	sp := n.replyTo(from, fromEP, senderTable)
+	n.mu.Lock()
+	self := n.self
+	n.mu.Unlock()
+	out := buffer.New(256)
+	out.PutUint64(uint64(self.Origin))
+	out.PutUint64(self.GossipEP)
+	names.EncodeRecords(out, delta)
+	out.PutUint32(uint32(len(wants)))
+	for _, w := range wants {
+		out.PutUint64(uint64(w))
+	}
+	err = sp.RSR(handlerDelta, out)
+	n.noteSend(from, err)
+	if err == nil {
+		n.ctx.Stats().Counter("cluster.delta.tx").Inc()
+	}
+}
+
+// onDelta merges the responder's records and answers its want-list with a
+// push of the records it asked for.
+func (n *Node) onDelta(_ *core.Endpoint, b *buffer.Buffer) {
+	from := transport.ContextID(b.Uint64())
+	fromEP := b.Uint64()
+	recs, err := names.DecodeRecords(b)
+	if err != nil || b.Err() != nil {
+		n.ctx.Stats().Counter("cluster.decode.errors").Inc()
+		return
+	}
+	nw := int(b.Uint32())
+	if b.Err() != nil || nw < 0 || nw*8 > b.Remaining() {
+		n.ctx.Stats().Counter("cluster.decode.errors").Inc()
+		return
+	}
+	wants := make([]transport.ContextID, 0, nw)
+	for i := 0; i < nw; i++ {
+		wants = append(wants, transport.ContextID(b.Uint64()))
+	}
+	if b.Err() != nil {
+		n.ctx.Stats().Counter("cluster.decode.errors").Inc()
+		return
+	}
+	n.ctx.Stats().Counter("cluster.delta.rx").Inc()
+	if applied := n.reg.MergeAll(recs); applied > 0 {
+		n.ctx.Stats().Counter("cluster.merged").Add(uint64(applied))
+	}
+	if len(wants) == 0 {
+		return
+	}
+	answer := n.reg.RecordsFor(wants, n.cfg.MaxDelta)
+	if len(answer) == 0 {
+		return
+	}
+	sp := n.replyTo(from, fromEP, nil)
+	n.mu.Lock()
+	self := n.self
+	n.mu.Unlock()
+	out := buffer.New(256)
+	out.PutUint64(uint64(self.Origin))
+	out.PutUint64(self.GossipEP)
+	names.EncodeRecords(out, answer)
+	err = sp.RSR(handlerPush, out)
+	n.noteSend(from, err)
+	if err == nil {
+		n.ctx.Stats().Counter("cluster.push.tx").Inc()
+	}
+}
+
+// onPush merges an unsolicited record batch (want-list answers, leave
+// notices, join relays).
+func (n *Node) onPush(_ *core.Endpoint, b *buffer.Buffer) {
+	_ = b.Uint64() // from
+	_ = b.Uint64() // fromEP
+	recs, err := names.DecodeRecords(b)
+	if err != nil || b.Err() != nil {
+		n.ctx.Stats().Counter("cluster.decode.errors").Inc()
+		return
+	}
+	n.ctx.Stats().Counter("cluster.push.rx").Inc()
+	if applied := n.reg.MergeAll(recs); applied > 0 {
+		n.ctx.Stats().Counter("cluster.merged").Add(uint64(applied))
+	}
+}
+
+// members builds the observability membership view: one row per registry
+// record, with the mesh next hop for destinations currently routed.
+func (n *Node) members() []obsv.ClusterMember {
+	snap := n.reg.Snapshot()
+	n.mu.Lock()
+	routed := make(map[transport.ContextID]transport.ContextID, len(n.routed))
+	for d, rs := range n.routed {
+		routed[d] = rs.via
+	}
+	n.mu.Unlock()
+	out := make([]obsv.ClusterMember, 0, len(snap))
+	for _, rec := range snap {
+		m := obsv.ClusterMember{
+			Context:   uint64(rec.Origin),
+			Partition: rec.Partition,
+			Seq:       rec.Seq,
+			Tombstone: rec.Tombstone,
+			Forwarder: rec.Forwarder,
+			Via:       uint64(routed[rec.Origin]),
+		}
+		if rec.Table != nil {
+			ms := make([]string, 0, rec.Table.Len())
+			seen := map[string]bool{}
+			for _, e := range rec.Table.Entries {
+				if !seen[e.Method] {
+					seen[e.Method] = true
+					ms = append(ms, e.Method)
+				}
+			}
+			sort.Strings(ms)
+			m.Methods = strings.Join(ms, ",")
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// encodeTable returns a table's deterministic encoding ("" for nil), the
+// change probe refreshSelf compares across Steps.
+func encodeTable(t *transport.Table) []byte {
+	if t == nil {
+		return nil
+	}
+	b := buffer.New(128)
+	t.Encode(b)
+	return b.Bytes()
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports that this binary was built with the race detector,
+// which multiplies the scale suite's per-operation cost; the headline run
+// shrinks its context count accordingly (see scale_test.go).
+const raceEnabled = true

@@ -80,6 +80,12 @@ func (sp *Startpoint) fragmentTo(conn transport.Conn, maxMsg int, destCtx transp
 	}
 	msgID := owner.nextMsgID.Add(1)
 	ext := wire.Ext{Trace: [16]byte(tid), FragID: msgID, FragTotal: uint32(total), RPC: rext}
+	if flags&wire.FlagRelay != 0 {
+		// Fragments of a mesh-routed message carry the same fresh hop budget
+		// the whole frame would: the originator always stamps (relayTTL, 0),
+		// so the values need not be threaded through from the caller.
+		ext.Relay = wire.RelayExt{TTL: owner.relayTTL, Via: 0}
+	}
 	if bs, ok := conn.(transport.BatchSender); ok && total > 1 {
 		return sp.fragmentBatch(bs, maxMsg, destCtx, destEP, fragFlags, ext,
 			handler, payload, chunk, total)

@@ -135,6 +135,12 @@ type Options struct {
 	// only carries the knobs; the layer itself (internal/rpc) is attached by
 	// the facade when Enabled is set, or by calling rpc.Enable directly.
 	RPC RPCConfig
+	// Cluster configures dynamic cluster membership: gossip-driven
+	// descriptor distribution and mesh relay routing. Core only carries the
+	// knobs (see cluster_hook.go); the layer itself (internal/cluster) is
+	// attached by the facade when Enabled is set, or by calling
+	// cluster.Attach directly.
+	Cluster ClusterConfig
 	// DebugProfiling opts this context into runtime profiling endpoints:
 	// the facade's DebugMux mounts net/http/pprof alongside /debug/nexusz
 	// only for contexts built with this set. Off by default — profiling
@@ -177,6 +183,17 @@ type Context struct {
 	// rpc_hook.go); rpcState holds the attached RPC runtime opaquely.
 	rpcIntake atomic.Pointer[RPCIntakeFunc]
 	rpcState  atomic.Value
+
+	// Cluster-layer hooks (see cluster_hook.go): clusterState holds the
+	// attached membership agent opaquely; clusterView supplies the
+	// membership rows Observe folds into snapshots; peerGen counts peer-
+	// table mutations made through Refresh/RemovePeerTable so lightweight
+	// startpoint links can notice their cached resolution went stale;
+	// relayTTL is the hop budget stamped on mesh-routed frames.
+	clusterState atomic.Value
+	clusterView  atomic.Value // func() []obsv.ClusterMember
+	peerGen      atomic.Uint64
+	relayTTL     byte
 
 	// Bulk-data path state (see bulk.go): the payload cap, the receive-side
 	// reassembler, the fragmented-message id generator, the size hint the
@@ -350,6 +367,10 @@ func NewContext(opts Options) (*Context, error) {
 	c.cDropUnkEP = c.stats.Counter("rsr.dropped.unknown_endpoint")
 	c.cDropUnkH = c.stats.Counter("rsr.dropped.unknown_handler")
 	c.cDropNoRPC = c.stats.Counter("rsr.dropped.no_rpc_layer")
+	c.relayTTL = DefaultRelayTTL
+	if opts.Cluster.RelayTTL > 0 && opts.Cluster.RelayTTL < 256 {
+		c.relayTTL = byte(opts.Cluster.RelayTTL)
+	}
 	c.maxMsg = opts.MaxMessageSize
 	if c.maxMsg <= 0 {
 		c.maxMsg = frag.DefaultMaxMessage
@@ -585,6 +606,38 @@ func (c *Context) RegisterPeerTable(t *transport.Table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.peerTables[t.Entries[0].Context] = t.Clone()
+}
+
+// RefreshPeerTable registers or replaces a peer's descriptor table at
+// runtime and invalidates everything that cached the old one: the peer-table
+// generation moves so lightweight startpoint links re-resolve, and the
+// health generation moves so published send snapshots go stale and re-run
+// selection. This is the hook gossip-driven descriptor distribution rides —
+// a method added or removed on a live peer propagates into every local
+// link's next send through the same mechanism a circuit trip uses.
+func (c *Context) RefreshPeerTable(t *transport.Table) {
+	if t.Len() == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.peerTables[t.Entries[0].Context] = t.Clone()
+	c.mu.Unlock()
+	c.peerGen.Add(1)
+	c.health.bump()
+}
+
+// RemovePeerTable forgets a peer's descriptor table (the peer left or was
+// declared crashed). Lightweight links that resolved through it fail their
+// next send with ErrNoTable instead of sending on stale descriptors.
+func (c *Context) RemovePeerTable(id transport.ContextID) {
+	c.mu.Lock()
+	_, had := c.peerTables[id]
+	delete(c.peerTables, id)
+	c.mu.Unlock()
+	if had {
+		c.peerGen.Add(1)
+		c.health.bump()
+	}
 }
 
 // PeerTable returns the registered table for a context, or nil.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"nexus/internal/obsv"
@@ -51,6 +52,41 @@ func (c *Context) forward(f *wire.Frame, raw []byte) {
 		c.errlog(fmt.Errorf("core: forwarder %d: no route to context %d: %w", c.id, dest, ErrNoTable))
 		c.stats.Counter("forward.dropped").Inc()
 		return
+	}
+	// Multi-hop mesh frames carry the relay extension: spend one hop of the
+	// budget and stamp this context as the via hop before relaying. The next
+	// hop may itself be a relay (the route table entry for dest points at
+	// it), so forwarding recurses across the mesh until the budget runs out.
+	if f.HasRelay() {
+		if f.Relay.TTL <= 1 {
+			c.errlog(fmt.Errorf("core: forwarder %d: frame for context %d dropped (hop budget exhausted, via %d)",
+				c.id, dest, f.Relay.Via))
+			c.stats.Counter("forward.ttl_exhausted").Inc()
+			c.stats.Counter("forward.dropped").Inc()
+			return
+		}
+		via := f.Relay.Via
+		wire.PatchRelay(raw, f.Relay.TTL-1, uint64(c.id))
+		// Loop suppression: never hand the frame back to the relay it just
+		// came from. Route entries name their next hop in the relay
+		// attribute; direct entries (no attribute) are always kept.
+		if via != 0 {
+			kept := table.Entries[:0]
+			for _, e := range table.Entries {
+				if rv := e.Attr(transport.AttrRelay); rv != "" && rv == strconv.FormatUint(via, 10) {
+					continue
+				}
+				kept = append(kept, e)
+			}
+			if len(kept) == 0 {
+				c.errlog(fmt.Errorf("core: forwarder %d: frame for context %d dropped (only route points back at via %d)",
+					c.id, dest, via))
+				c.stats.Counter("forward.loop_dropped").Inc()
+				c.stats.Counter("forward.dropped").Inc()
+				return
+			}
+			table.Entries = kept
+		}
 	}
 	var tid obsv.TraceID
 	if f.HasTrace() {
@@ -120,6 +156,35 @@ func (c *Context) forward(f *wire.Frame, raw []byte) {
 	}
 	c.errlog(fmt.Errorf("core: forwarder %d: relay to context %d exhausted %d attempts: %w", c.id, dest, budget, lastErr))
 	c.stats.Counter("forward.dropped").Inc()
+}
+
+// NewRelayRoute builds the peer table that routes frames for dest through a
+// relay context: every entry of the relay's own advertised table is cloned
+// with Context rewritten to dest (the entry still names the final
+// destination, as in RewriteForForwarder) and the relay attribute naming the
+// next hop — which is what lets senders stamp the wire relay extension and
+// lets forwarders suppress routing loops. The relay's own peer table for
+// dest decides the following hop, so multi-hop routes compose out of
+// single-hop installs. maxMsg, when positive, caps the route's advertised
+// max_message (the narrowest link along the path).
+func NewRelayRoute(dest, relay transport.ContextID, relayTable *transport.Table, maxMsg int) *transport.Table {
+	out := transport.NewTable()
+	rid := strconv.FormatUint(uint64(relay), 10)
+	for _, e := range relayTable.Entries {
+		ne := e.Clone()
+		ne.Context = dest
+		if ne.Attrs == nil {
+			ne.Attrs = make(map[string]string, 2)
+		}
+		ne.Attrs[transport.AttrRelay] = rid
+		if maxMsg > 0 {
+			if cur := ne.MaxMessage(); cur == 0 || maxMsg < cur {
+				ne.Attrs[transport.AttrMaxMessage] = strconv.Itoa(maxMsg)
+			}
+		}
+		out.Add(ne)
+	}
+	return out
 }
 
 // RewriteForForwarder edits a descriptor table so that the given method's

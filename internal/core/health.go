@@ -177,6 +177,12 @@ func newHealthRegistry(cfg HealthConfig, stats *metrics.Set) *healthRegistry {
 // Gen returns the current transition generation.
 func (h *healthRegistry) Gen() uint64 { return h.gen.Load() }
 
+// bump forces a generation move without a circuit transition, invalidating
+// every published send snapshot so supervised links re-run selection. The
+// peer-table refresh path uses it to push runtime descriptor changes into
+// live links.
+func (h *healthRegistry) bump() { h.gen.Add(1) }
+
 // probeDue reports whether some open circuit's backoff has expired, i.e.
 // whether a sender should re-run selection to volunteer a probe. One atomic
 // load on the healthy path; the clock is read only while a retry is armed.

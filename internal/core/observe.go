@@ -260,5 +260,10 @@ func (c *Context) Observe() obsv.Snapshot {
 		s.TraceCapacity = r.Cap()
 		s.TraceTotal = r.Total()
 	}
+	if v := c.clusterView.Load(); v != nil {
+		if fn, ok := v.(func() []obsv.ClusterMember); ok && fn != nil {
+			s.Cluster = fn()
+		}
+	}
 	return s
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +78,9 @@ type sendLink struct {
 	// maxMsg is the largest encoded frame the bound method accepts in one
 	// Send; larger frames take the fragmentation path (bulk.go).
 	maxMsg int
+	// relay marks a link bound to a mesh-installed relay route: frames carry
+	// the wire relay extension (hop budget + loop suppression).
+	relay bool
 	// selErr carries a selection failure deferred to send time (failover
 	// mode): the link gets its frame via the failover loop instead.
 	selErr error
@@ -101,6 +105,16 @@ type target struct {
 	// selected under; when the registry moves (a circuit trips or heals)
 	// the link re-runs selection on its next send.
 	healthGen uint64
+	// fromPeer marks a table resolved from the owning context's registered
+	// peer tables (lightweight startpoint); peerGen is the peer-table
+	// generation it was resolved under. When the context's peer tables move
+	// (gossip refreshed or removed one) the cached resolution is dropped and
+	// the link re-resolves — or fails with ErrNoTable if the peer left.
+	fromPeer bool
+	peerGen  uint64
+	// relayVia is the next-hop relay context id when the bound descriptor is
+	// a mesh-installed route (0 for a direct link).
+	relayVia uint64
 	// reportUp marks a freshly bound communication object whose first
 	// successful send should be reported to the health registry (it may be
 	// the probe that closes a half-open circuit). Atomic because lock-free
@@ -301,8 +315,11 @@ func (sp *Startpoint) tableFor(t *target) (*transport.Table, error) {
 	if t.table != nil {
 		return t.table, nil
 	}
+	pg := sp.owner.peerGen.Load()
 	if pt := sp.owner.PeerTable(t.context); pt != nil {
 		t.table = pt
+		t.fromPeer = true
+		t.peerGen = pg
 		return pt, nil
 	}
 	return nil, fmt.Errorf("core: context %d: %w", t.context, ErrNoTable)
@@ -354,6 +371,12 @@ func (sp *Startpoint) bindTarget(t *target, method string, desc transport.Descri
 		limit = dm
 	}
 	t.maxMsg = limit
+	t.relayVia = 0
+	if rv := desc.Attr(transport.AttrRelay); rv != "" {
+		if v, err := strconv.ParseUint(rv, 10, 64); err == nil {
+			t.relayVia = v
+		}
+	}
 	t.reportUp.Store(true)
 	return nil
 }
@@ -453,6 +476,18 @@ func (sp *Startpoint) send(handler string, b *buffer.Buffer, rs *RPCSend) error 
 		}
 	}
 	ext := wire.Ext{Trace: [16]byte(tid), RPC: rext}
+	for i := range snap.links {
+		if snap.links[i].relay {
+			// At least one link rides a mesh-installed relay route: stamp the
+			// hop budget so forwarders can decrement it and suppress loops.
+			// Via is 0 at the originator; the first relay stamps itself.
+			// Direct links in the same multicast harmlessly carry the
+			// extension too (the frame is encoded once for all links).
+			flags |= wire.FlagRelay
+			ext.Relay = wire.RelayExt{TTL: owner.relayTTL, Via: 0}
+			break
+		}
+	}
 	if fl := owner.flow; fl != nil && len(snap.links) == 1 && cls != wire.ClassControl {
 		// Piggyback a due credit grant for the reverse direction of this
 		// link on the outbound frame — the no-extra-frame refill path for
@@ -582,8 +617,23 @@ func (sp *Startpoint) prepare(tid obsv.TraceID) (*sendSnapshot, error) {
 	// the freshest value selection can observe.
 	gen := sp.owner.health.Gen()
 	probeDue := sp.owner.health.probeDue()
+	pg := sp.owner.peerGen.Load()
 	for _, t := range sp.targets {
 		t.selErr = nil
+		if t.fromPeer && t.peerGen != pg && !t.manual {
+			// The peer-table set this lightweight link resolved through has
+			// moved (gossip refreshed or removed the table): drop the cached
+			// table and binding so selection re-resolves against the current
+			// set. A removed peer now fails with ErrNoTable instead of
+			// sending on stale descriptors.
+			t.table = nil
+			t.fromPeer = false
+			if t.conn != nil {
+				sp.owner.releaseConn(t.conn)
+				t.conn = nil
+				t.method = ""
+			}
+		}
 		if t.conn == nil {
 			t.healthGen = gen
 			if err := sp.selectTarget(t, tid); err != nil {
@@ -625,6 +675,7 @@ func (sp *Startpoint) publishLocked() *sendSnapshot {
 			conn:     t.conn,
 			lat:      t.lat,
 			maxMsg:   t.maxMsg,
+			relay:    t.relayVia != 0,
 			selErr:   t.selErr,
 		}
 		if t.conn == nil || t.selErr != nil {
@@ -753,6 +804,21 @@ func (c *Context) DecodeStartpoint(b *buffer.Buffer) (*Startpoint, error) {
 		sp.targets = append(sp.targets, t)
 	}
 	return sp, nil
+}
+
+// NewStartpointTo builds a startpoint addressing an explicit (context,
+// endpoint) pair, with an optional descriptor table. With a nil table the
+// startpoint is lightweight: it resolves through the context's registered
+// peer tables on first use, exactly like a startpoint decoded from a
+// table-less encoding. The gossip agent uses this to address a peer's
+// agent endpoint straight from a registry record, without the peer ever
+// shipping a startpoint out of band.
+func (c *Context) NewStartpointTo(ctx transport.ContextID, ep uint64, table *transport.Table) *Startpoint {
+	t := &target{context: ctx, endpoint: ep}
+	if table != nil {
+		t.table = table.Clone()
+	}
+	return &Startpoint{owner: c, targets: []*target{t}}
 }
 
 // TransferStartpoint copies a startpoint into another context through the

@@ -1,4 +1,4 @@
-package names
+package names_test
 
 import (
 	"context"
@@ -13,30 +13,31 @@ import (
 	"nexus/internal/buffer"
 	"nexus/internal/cluster"
 	"nexus/internal/core"
+	"nexus/internal/names"
 	"nexus/internal/transport"
 )
 
 // testWorld builds a machine with a name server on rank 0 and clients on
 // every other rank, with a background poller on the server so requests are
 // answered without explicit polling.
-func testWorld(t *testing.T, n int) (*cluster.Machine, *Server, []*Client) {
+func testWorld(t *testing.T, n int) (*cluster.Machine, *names.Server, []*names.Client) {
 	t.Helper()
 	m, err := cluster.New(cluster.Uniform(n, "p", core.MethodConfig{Name: "inproc"}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(m.Close)
-	srv := NewServer(m.Context(0))
+	srv := names.NewServer(m.Context(0))
 	stop := m.Context(0).StartPoller(0)
 	t.Cleanup(stop)
 
-	clients := make([]*Client, 0, n-1)
+	clients := make([]*names.Client, 0, n-1)
 	for r := 1; r < n; r++ {
 		sp, err := core.TransferStartpoint(srv.Startpoint(), m.Context(r))
 		if err != nil {
 			t.Fatal(err)
 		}
-		c := NewClient(m.Context(r), sp)
+		c := names.NewClient(m.Context(r), sp)
 		c.SetTimeout(5 * time.Second)
 		clients = append(clients, c)
 	}
@@ -79,8 +80,8 @@ func TestRegisterResolveAcrossContexts(t *testing.T) {
 
 func TestResolveUnknownName(t *testing.T) {
 	_, _, clients := testWorld(t, 2)
-	if _, err := clients[0].Resolve("no/such/name"); !errors.Is(err, ErrNotFound) {
-		t.Errorf("Resolve = %v, want ErrNotFound", err)
+	if _, err := clients[0].Resolve("no/such/name"); !errors.Is(err, names.ErrNotFound) {
+		t.Errorf("Resolve = %v, want names.ErrNotFound", err)
 	}
 }
 
@@ -90,8 +91,8 @@ func TestDuplicateRegistration(t *testing.T) {
 	if err := clients[0].Register("dup", ep.NewStartpoint()); err != nil {
 		t.Fatal(err)
 	}
-	if err := clients[0].Register("dup", ep.NewStartpoint()); !errors.Is(err, ErrExists) {
-		t.Errorf("second Register = %v, want ErrExists", err)
+	if err := clients[0].Register("dup", ep.NewStartpoint()); !errors.Is(err, names.ErrExists) {
+		t.Errorf("second Register = %v, want names.ErrExists", err)
 	}
 }
 
@@ -125,15 +126,15 @@ func TestRequestTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	srv := NewServer(m.Context(0))
+	srv := names.NewServer(m.Context(0))
 	sp, err := core.TransferStartpoint(srv.Startpoint(), m.Context(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := NewClient(m.Context(1), sp)
+	c := names.NewClient(m.Context(1), sp)
 	c.SetTimeout(100 * time.Millisecond)
-	if _, err := c.Resolve("x"); !errors.Is(err, ErrTimeout) {
-		t.Errorf("Resolve against silent server = %v, want ErrTimeout", err)
+	if _, err := c.Resolve("x"); !errors.Is(err, names.ErrTimeout) {
+		t.Errorf("Resolve against silent server = %v, want names.ErrTimeout", err)
 	}
 }
 
@@ -151,7 +152,7 @@ func TestResolvedStartpointCrossesPartitions(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	srv := NewServer(m.Context(0))
+	srv := names.NewServer(m.Context(0))
 	stop := m.Context(0).StartPoller(0)
 	defer stop()
 
@@ -160,7 +161,7 @@ func TestResolvedStartpointCrossesPartitions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pub := NewClient(m.Context(1), spToSrv1)
+	pub := names.NewClient(m.Context(1), spToSrv1)
 	pub.SetTimeout(5 * time.Second)
 	var hits atomic.Int64
 	ep := m.Context(1).NewEndpoint(core.WithHandler(func(*core.Endpoint, *buffer.Buffer) { hits.Add(1) }))
@@ -173,7 +174,7 @@ func TestResolvedStartpointCrossesPartitions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	remote := NewClient(m.Context(2), spToSrv2)
+	remote := names.NewClient(m.Context(2), spToSrv2)
 	remote.SetTimeout(5 * time.Second)
 	sp, err := remote.Resolve("sim/output")
 	if err != nil {
@@ -196,7 +197,7 @@ func TestConcurrentClients(t *testing.T) {
 
 	done := make(chan error, len(clients))
 	for i, c := range clients {
-		go func(i int, c *Client) {
+		go func(i int, c *names.Client) {
 			name := string(rune('a' + i))
 			if err := c.Register(name, ep.NewStartpoint()); err != nil {
 				done <- err
@@ -223,7 +224,7 @@ func TestConcurrentClients(t *testing.T) {
 // through a table of operation sequences: lookup misses, duplicate
 // registration, and the re-registration that becomes legal once the name's
 // state allows it (a second Register of the *same* name always reports
-// ErrExists — names are immutable once published).
+// names.ErrExists — names are immutable once published).
 func TestNameTableSemantics(t *testing.T) {
 	type op struct {
 		kind    string // "register", "resolve", "list"
@@ -235,16 +236,16 @@ func TestNameTableSemantics(t *testing.T) {
 		ops  []op
 	}{
 		{"lookup-miss-empty", []op{
-			{kind: "resolve", name: "nothing", wantErr: ErrNotFound},
+			{kind: "resolve", name: "nothing", wantErr: names.ErrNotFound},
 		}},
 		{"lookup-miss-other-name", []op{
 			{kind: "register", name: "a"},
-			{kind: "resolve", name: "b", wantErr: ErrNotFound},
+			{kind: "resolve", name: "b", wantErr: names.ErrNotFound},
 			{kind: "resolve", name: "a"},
 		}},
 		{"re-registration-rejected", []op{
 			{kind: "register", name: "dup"},
-			{kind: "register", name: "dup", wantErr: ErrExists},
+			{kind: "register", name: "dup", wantErr: names.ErrExists},
 			{kind: "resolve", name: "dup"},
 		}},
 		{"re-registration-distinct-names", []op{
@@ -292,7 +293,7 @@ func TestConcurrentRegisterResolve(t *testing.T) {
 	const perWorker = 20
 	var wg sync.WaitGroup
 	errs := make(chan error, 6*perWorker)
-	worker := func(cl *Client, id int) {
+	worker := func(cl *names.Client, id int) {
 		defer wg.Done()
 		for i := 0; i < perWorker; i++ {
 			name := fmt.Sprintf("w%d/%d", id, i)
@@ -304,13 +305,13 @@ func TestConcurrentRegisterResolve(t *testing.T) {
 				errs <- fmt.Errorf("resolve %s: %w", name, err)
 				return
 			}
-			if _, err := cl.Resolve("never/registered"); !errors.Is(err, ErrNotFound) {
+			if _, err := cl.Resolve("never/registered"); !errors.Is(err, names.ErrNotFound) {
 				errs <- fmt.Errorf("miss resolve returned %v", err)
 				return
 			}
 		}
 	}
-	lister := func(cl *Client) {
+	lister := func(cl *names.Client) {
 		defer wg.Done()
 		for i := 0; i < perWorker; i++ {
 			if _, err := cl.List(); err != nil {
@@ -335,7 +336,7 @@ func TestConcurrentRegisterResolve(t *testing.T) {
 }
 
 // TestTimeoutUnifiedWithDeadline pins the stack-wide timeout vocabulary: a
-// names timeout matches ErrTimeout, core.ErrDeadline, and the standard
+// names timeout matches names.ErrTimeout, core.ErrDeadline, and the standard
 // library's context.DeadlineExceeded under errors.Is.
 func TestTimeoutUnifiedWithDeadline(t *testing.T) {
 	m, err := cluster.New(cluster.Uniform(2, "p", core.MethodConfig{Name: "inproc"}))
@@ -343,15 +344,15 @@ func TestTimeoutUnifiedWithDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	srv := NewServer(m.Context(0)) // never polls, never answers
+	srv := names.NewServer(m.Context(0)) // never polls, never answers
 	sp, err := core.TransferStartpoint(srv.Startpoint(), m.Context(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := NewClient(m.Context(1), sp)
+	c := names.NewClient(m.Context(1), sp)
 	c.SetTimeout(50 * time.Millisecond)
 	_, rerr := c.Resolve("x")
-	for _, want := range []error{ErrTimeout, core.ErrDeadline, context.DeadlineExceeded} {
+	for _, want := range []error{names.ErrTimeout, core.ErrDeadline, context.DeadlineExceeded} {
 		if !errors.Is(rerr, want) {
 			t.Errorf("errors.Is(%v, %v) = false", rerr, want)
 		}

@@ -1,0 +1,482 @@
+package names
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"nexus/internal/buffer"
+	"nexus/internal/transport"
+)
+
+// This file grows the name service into a versioned peer/descriptor registry:
+// the data structure under cluster-wide anti-entropy gossip. Each live
+// context owns exactly one Record, versioned by a per-origin monotonic
+// sequence number — no clocks anywhere — and deleted by publishing a
+// tombstone under a higher sequence. Two registries that have seen the same
+// set of records hold identical tables regardless of the order, duplication,
+// or staleness of the deliveries, because Merge is a join on a total order:
+// higher sequence wins, a tombstone beats a live record at the same
+// sequence, and ties between same-kind records are broken by comparing
+// their canonical encodings. That last rule is what makes "two contexts
+// concurrently claim the same origin at the same version" converge instead
+// of flapping.
+
+// Record is one origin's registry entry: the descriptor table it advertises,
+// or a tombstone marking it departed. Tables held by a registry are shared,
+// not copied — callers must treat them as immutable.
+type Record struct {
+	// Origin is the context the record describes; only that context (or a
+	// peer declaring it crashed) publishes new versions of it.
+	Origin transport.ContextID
+	// Seq is the origin's monotonic version counter. It orders the origin's
+	// records without any clock: a joining context that finds an older
+	// record (or its own tombstone) adopts that sequence plus one.
+	Seq uint64
+	// Tombstone marks the origin as departed; the table is absent.
+	Tombstone bool
+	// Forwarder advertises willingness to relay frames for third parties;
+	// mesh route computation only routes through forwarders.
+	Forwarder bool
+	// Partition is the origin's partition tag, for display and diagnostics.
+	Partition string
+	// GossipEP is the endpoint id of the origin's gossip agent, so any peer
+	// that learns the record can address anti-entropy traffic to it.
+	GossipEP uint64
+	// Table is the origin's advertised descriptor table (nil on tombstones).
+	Table *transport.Table
+}
+
+// encode packs the record canonically: fixed field order, and the table's
+// own deterministic attribute ordering. Equal records encode identically, so
+// the encoding doubles as the tie-break comparand and the digest hash input.
+func (r Record) encode(b *buffer.Buffer) {
+	b.PutUint64(uint64(r.Origin))
+	b.PutUint64(r.Seq)
+	var flags byte
+	if r.Tombstone {
+		flags |= 1
+	}
+	if r.Forwarder {
+		flags |= 2
+	}
+	if r.Table != nil {
+		flags |= 4
+	}
+	b.PutByte(flags)
+	b.PutString(r.Partition)
+	b.PutUint64(r.GossipEP)
+	if r.Table != nil {
+		r.Table.Encode(b)
+	}
+}
+
+// decodeRecord unpacks a record encoded with encode.
+func decodeRecord(b *buffer.Buffer) (Record, error) {
+	r := Record{
+		Origin: transport.ContextID(b.Uint64()),
+		Seq:    b.Uint64(),
+	}
+	flags := b.Byte()
+	r.Tombstone = flags&1 != 0
+	r.Forwarder = flags&2 != 0
+	r.Partition = b.String()
+	r.GossipEP = b.Uint64()
+	if err := b.Err(); err != nil {
+		return r, fmt.Errorf("names: decoding record: %w", err)
+	}
+	if flags&4 != 0 {
+		t, err := transport.DecodeTable(b)
+		if err != nil {
+			return r, fmt.Errorf("names: decoding record table: %w", err)
+		}
+		r.Table = t
+	}
+	return r, nil
+}
+
+// canonical returns the record's canonical encoding.
+func (r Record) canonical() []byte {
+	b := buffer.New(128)
+	r.encode(b)
+	return b.Bytes()
+}
+
+// hash64 is an FNV-1a digest of the record's canonical encoding, carried in
+// digest entries so peers can detect same-sequence content divergence.
+func (r Record) hash64() uint64 {
+	h := fnv.New64a()
+	h.Write(r.canonical())
+	return h.Sum64()
+}
+
+// Hash exposes the record's content hash, letting agents detect that an
+// applied record changed without holding its previous encoding.
+func (r Record) Hash() uint64 { return r.hash64() }
+
+// DigestEntry summarizes one record for an anti-entropy exchange: enough for
+// the receiver to decide newer/older/divergent without shipping the table.
+type DigestEntry struct {
+	Origin transport.ContextID
+	Seq    uint64
+	Hash   uint64
+}
+
+// Digest is one bounded anti-entropy summary: the sender's digest entries
+// for every record it holds with origin inside the [Lo, Hi] window. The
+// window is circular over the 64-bit origin keyspace (Lo > Hi wraps), and
+// rotates across rounds so a bounded digest still covers the whole table
+// eventually. A window covering the full keyspace means the entry list is
+// exhaustive.
+type Digest struct {
+	Lo, Hi  transport.ContextID
+	Entries []DigestEntry
+}
+
+// covers reports whether origin falls inside the digest's circular window.
+func (d Digest) covers(o transport.ContextID) bool {
+	if d.Lo <= d.Hi {
+		return o >= d.Lo && o <= d.Hi
+	}
+	return o >= d.Lo || o <= d.Hi
+}
+
+// maxDigestEntries bounds hostile digest lengths.
+const maxDigestEntries = 1 << 16
+
+// Encode packs the digest.
+func (d Digest) Encode(b *buffer.Buffer) {
+	b.PutUint64(uint64(d.Lo))
+	b.PutUint64(uint64(d.Hi))
+	b.PutUint32(uint32(len(d.Entries)))
+	for _, e := range d.Entries {
+		b.PutUint64(uint64(e.Origin))
+		b.PutUint64(e.Seq)
+		b.PutUint64(e.Hash)
+	}
+}
+
+// DecodeDigest unpacks a digest, validating the count against the bytes
+// actually present.
+func DecodeDigest(b *buffer.Buffer) (Digest, error) {
+	d := Digest{
+		Lo: transport.ContextID(b.Uint64()),
+		Hi: transport.ContextID(b.Uint64()),
+	}
+	n := int(b.Uint32())
+	if err := b.Err(); err != nil {
+		return d, fmt.Errorf("names: decoding digest: %w", err)
+	}
+	if n > maxDigestEntries || n*24 > b.Remaining() {
+		return d, fmt.Errorf("names: digest count %d cannot fit in %d bytes", n, b.Remaining())
+	}
+	d.Entries = make([]DigestEntry, 0, n)
+	for i := 0; i < n; i++ {
+		d.Entries = append(d.Entries, DigestEntry{
+			Origin: transport.ContextID(b.Uint64()),
+			Seq:    b.Uint64(),
+			Hash:   b.Uint64(),
+		})
+	}
+	if err := b.Err(); err != nil {
+		return d, fmt.Errorf("names: decoding digest entries: %w", err)
+	}
+	return d, nil
+}
+
+// EncodeRecords packs a record batch.
+func EncodeRecords(b *buffer.Buffer, recs []Record) {
+	b.PutUint32(uint32(len(recs)))
+	for _, r := range recs {
+		r.encode(b)
+	}
+}
+
+// maxRecordBatch bounds hostile record-batch lengths.
+const maxRecordBatch = 1 << 16
+
+// DecodeRecords unpacks a record batch encoded with EncodeRecords.
+func DecodeRecords(b *buffer.Buffer) ([]Record, error) {
+	n := int(b.Uint32())
+	if err := b.Err(); err != nil {
+		return nil, fmt.Errorf("names: decoding records: %w", err)
+	}
+	// A record is at least 8+8+1+4+8 bytes.
+	if n > maxRecordBatch || n*29 > b.Remaining() {
+		return nil, fmt.Errorf("names: record count %d cannot fit in %d bytes", n, b.Remaining())
+	}
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := decodeRecord(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// stored is a registry entry with its canonical encoding and content hash
+// cached at merge time, so digest rounds and tie-breaks never re-encode: at
+// thousand-context scale a bounded digest touches hundreds of records per
+// round, and recomputing FNV over a re-encoded table each time would dominate
+// the round's cost.
+type stored struct {
+	rec  Record
+	enc  []byte
+	hash uint64
+}
+
+// fpMix folds one record's identity into the registry fingerprint. XOR of
+// per-record mixes makes the fingerprint order-independent and incrementally
+// maintainable under replacement.
+func fpMix(origin transport.ContextID, seq, hash uint64) uint64 {
+	return hash ^ (uint64(origin) * 0x9e3779b97f4a7c15) ^ (seq * 0xbf58476d1ce4e5b9)
+}
+
+// Registry is the versioned membership/descriptor table a gossip agent
+// maintains: one Record per origin, merged under the deterministic order
+// described above. All methods are safe for concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	recs map[transport.ContextID]stored
+	gen  uint64 // bumped on every applied change; cheap "did anything move" probe
+	fp   uint64 // order-independent content fingerprint (Fingerprint)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{recs: make(map[transport.ContextID]stored)}
+}
+
+// Merge folds one record in and reports whether it changed the table. The
+// outcome is independent of delivery order, duplication, and interleaving
+// with stale versions: higher Seq wins; at equal Seq a tombstone beats a
+// live record; and two same-kind records at the same Seq are ordered by
+// their canonical encodings, so every registry picks the same winner.
+func (r *Registry) Merge(rec Record) bool {
+	enc := rec.canonical()
+	h := fnv.New64a()
+	h.Write(enc)
+	hash := h.Sum64()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.recs[rec.Origin]
+	if ok {
+		switch {
+		case rec.Seq < cur.rec.Seq:
+			return false
+		case rec.Seq == cur.rec.Seq:
+			if rec.Tombstone != cur.rec.Tombstone {
+				if !rec.Tombstone {
+					return false
+				}
+			} else if bytes.Compare(enc, cur.enc) <= 0 {
+				return false
+			}
+		}
+		r.fp ^= fpMix(rec.Origin, cur.rec.Seq, cur.hash)
+	}
+	r.recs[rec.Origin] = stored{rec: rec, enc: enc, hash: hash}
+	r.fp ^= fpMix(rec.Origin, rec.Seq, hash)
+	r.gen++
+	return true
+}
+
+// MergeAll folds a batch in and reports how many records were applied.
+func (r *Registry) MergeAll(recs []Record) int {
+	applied := 0
+	for _, rec := range recs {
+		if r.Merge(rec) {
+			applied++
+		}
+	}
+	return applied
+}
+
+// Get returns the record for an origin.
+func (r *Registry) Get(origin transport.ContextID) (Record, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.recs[origin]
+	return s.rec, ok
+}
+
+// Fingerprint returns an order-independent digest of the registry's full
+// contents, maintained incrementally by Merge. Two registries with equal
+// fingerprints and equal lengths hold the same records with overwhelming
+// probability — the O(1) convergence probe the thousand-context scale
+// harness polls every round, where pairwise Equal would be quadratic in
+// cluster size.
+func (r *Registry) Fingerprint() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.fp
+}
+
+// Gen reports the registry's change generation: it moves exactly when a
+// Merge applies, so pollers can skip recomputation when nothing changed.
+func (r *Registry) Gen() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
+}
+
+// Len reports the number of records held, tombstones included.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.recs)
+}
+
+// Live returns every non-tombstone record, sorted by origin.
+func (r *Registry) Live() []Record {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Record, 0, len(r.recs))
+	for _, s := range r.recs {
+		if !s.rec.Tombstone {
+			out = append(out, s.rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}
+
+// Snapshot returns every record, tombstones included, sorted by origin.
+func (r *Registry) Snapshot() []Record {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Record, 0, len(r.recs))
+	for _, s := range r.recs {
+		out = append(out, s.rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}
+
+// Equal reports whether two registries hold identical records — the
+// convergence predicate the gossip tests and FuzzGossipMerge assert.
+func (r *Registry) Equal(o *Registry) bool {
+	a, b := r.Snapshot(), o.Snapshot()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].canonical(), b[i].canonical()) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedOrigins returns every origin in ascending order. Callers hold no lock.
+func (r *Registry) sortedOrigins() []transport.ContextID {
+	r.mu.RLock()
+	out := make([]transport.ContextID, 0, len(r.recs))
+	for o := range r.recs {
+		out = append(out, o)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Digest summarizes up to limit records starting at the given rotation index
+// into the registry's sorted origin list, and returns the index where the
+// next round should start. When the whole table fits, the window spans the
+// full keyspace so the receiver knows the entry list is exhaustive;
+// otherwise the window tightly brackets the included origins (circularly)
+// and successive rounds sweep the table. This is what keeps gossip rounds
+// bounded at thousand-context scale: a round's digest never exceeds limit
+// entries no matter how large the cluster grows.
+func (r *Registry) Digest(start, limit int) (Digest, int) {
+	origins := r.sortedOrigins()
+	n := len(origins)
+	if n == 0 {
+		return Digest{Lo: 0, Hi: math.MaxUint64}, 0
+	}
+	if limit <= 0 || limit >= n {
+		d := Digest{Lo: 0, Hi: math.MaxUint64, Entries: make([]DigestEntry, 0, n)}
+		r.mu.RLock()
+		for _, o := range origins {
+			s := r.recs[o]
+			d.Entries = append(d.Entries, DigestEntry{Origin: o, Seq: s.rec.Seq, Hash: s.hash})
+		}
+		r.mu.RUnlock()
+		return d, 0
+	}
+	start %= n
+	d := Digest{Entries: make([]DigestEntry, 0, limit)}
+	r.mu.RLock()
+	for i := 0; i < limit; i++ {
+		o := origins[(start+i)%n]
+		s := r.recs[o]
+		d.Entries = append(d.Entries, DigestEntry{Origin: o, Seq: s.rec.Seq, Hash: s.hash})
+	}
+	r.mu.RUnlock()
+	d.Lo = d.Entries[0].Origin
+	d.Hi = d.Entries[len(d.Entries)-1].Origin
+	return d, (start + limit) % n
+}
+
+// DeltaFor computes the responder half of a push-pull round: the records we
+// hold inside the digest's window that the digest lacks, holds at a lower
+// sequence, or holds divergently at the same sequence (capped at maxDelta,
+// lowest origins first), plus the origins where the digest is ahead of us —
+// the want-list the requester answers with a push.
+func (r *Registry) DeltaFor(d Digest, maxDelta int) (delta []Record, wants []transport.ContextID) {
+	known := make(map[transport.ContextID]DigestEntry, len(d.Entries))
+	for _, e := range d.Entries {
+		known[e.Origin] = e
+	}
+	r.mu.RLock()
+	for o, s := range r.recs {
+		if !d.covers(o) {
+			continue
+		}
+		e, ok := known[o]
+		switch {
+		case !ok, e.Seq < s.rec.Seq:
+			delta = append(delta, s.rec)
+		case e.Seq == s.rec.Seq && e.Hash != s.hash:
+			// Same version, different content: ship ours and ask for theirs;
+			// Merge's tie-break settles both sides on the same winner.
+			delta = append(delta, s.rec)
+			wants = append(wants, o)
+		}
+	}
+	for _, e := range d.Entries {
+		s, ok := r.recs[e.Origin]
+		if !ok || s.rec.Seq < e.Seq {
+			wants = append(wants, e.Origin)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(delta, func(i, j int) bool { return delta[i].Origin < delta[j].Origin })
+	if maxDelta > 0 && len(delta) > maxDelta {
+		delta = delta[:maxDelta]
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i] < wants[j] })
+	return delta, wants
+}
+
+// RecordsFor returns the records held for the requested origins (capped at
+// max), answering a want-list.
+func (r *Registry) RecordsFor(origins []transport.ContextID, max int) []Record {
+	out := make([]Record, 0, len(origins))
+	r.mu.RLock()
+	for _, o := range origins {
+		if s, ok := r.recs[o]; ok {
+			out = append(out, s.rec)
+			if max > 0 && len(out) == max {
+				break
+			}
+		}
+	}
+	r.mu.RUnlock()
+	return out
+}

@@ -1,0 +1,291 @@
+package names
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"nexus/internal/buffer"
+	"nexus/internal/transport"
+)
+
+func tbl(method string, ctx uint64, attrs map[string]string) *transport.Table {
+	return transport.NewTable(transport.Descriptor{
+		Method: method, Context: transport.ContextID(ctx), Attrs: attrs,
+	})
+}
+
+func TestRegistryMergeVersions(t *testing.T) {
+	r := NewRegistry()
+	if !r.Merge(Record{Origin: 1, Seq: 1, Table: tbl("mpl", 1, nil)}) {
+		t.Fatal("first record not applied")
+	}
+	g := r.Gen()
+	if r.Merge(Record{Origin: 1, Seq: 1, Table: tbl("mpl", 1, nil)}) {
+		t.Error("duplicate record applied")
+	}
+	if r.Gen() != g {
+		t.Error("generation moved on a no-op merge")
+	}
+	if r.Merge(Record{Origin: 1, Seq: 0, Table: tbl("wan", 1, nil)}) {
+		t.Error("stale record applied")
+	}
+	if !r.Merge(Record{Origin: 1, Seq: 2, Table: tbl("wan", 1, nil)}) {
+		t.Error("newer record not applied")
+	}
+	if rec, _ := r.Get(1); rec.Seq != 2 || rec.Table.Entries[0].Method != "wan" {
+		t.Errorf("registry holds %+v after newer merge", rec)
+	}
+	// The overtaken version stays dead.
+	if r.Merge(Record{Origin: 1, Seq: 1, Table: tbl("atm", 1, nil)}) {
+		t.Error("resurrected stale record")
+	}
+}
+
+// TestRegistryTombstoneEdgeCases covers the leave/crash protocol: a
+// tombstone beats a live record at the same version, loses to a higher one,
+// and a re-registering context must adopt a sequence above its tombstone.
+func TestRegistryTombstoneEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	r.Merge(Record{Origin: 5, Seq: 3, Table: tbl("mpl", 5, nil)})
+
+	// Tombstone at the same seq wins (leave raced with a refresh).
+	if !r.Merge(Record{Origin: 5, Seq: 3, Tombstone: true}) {
+		t.Fatal("same-seq tombstone not applied")
+	}
+	// And the live record at that seq cannot come back.
+	if r.Merge(Record{Origin: 5, Seq: 3, Table: tbl("mpl", 5, nil)}) {
+		t.Error("live record overwrote same-seq tombstone")
+	}
+	if len(r.Live()) != 0 {
+		t.Errorf("Live() = %v after tombstone", r.Live())
+	}
+
+	// Re-register after tombstone: only a higher seq revives the origin.
+	if r.Merge(Record{Origin: 5, Seq: 2, Table: tbl("mpl", 5, nil)}) {
+		t.Error("stale re-register applied over tombstone")
+	}
+	if !r.Merge(Record{Origin: 5, Seq: 4, Table: tbl("mpl", 5, nil)}) {
+		t.Fatal("re-register after tombstone not applied")
+	}
+	if rec, _ := r.Get(5); rec.Tombstone || rec.Seq != 4 {
+		t.Errorf("revived record = %+v", rec)
+	}
+	if len(r.Live()) != 1 {
+		t.Errorf("Live() = %v after revive", r.Live())
+	}
+}
+
+// TestRegistryConcurrentJoinTie pins the clock-free tie-break: two contexts
+// concurrently publishing the same origin at the same sequence converge to
+// the same winner on every registry, in either merge order.
+func TestRegistryConcurrentJoinTie(t *testing.T) {
+	a := Record{Origin: 9, Seq: 1, Table: tbl("mpl", 9, map[string]string{"addr": "1"})}
+	b := Record{Origin: 9, Seq: 1, Table: tbl("mpl", 9, map[string]string{"addr": "2"})}
+
+	r1 := NewRegistry()
+	r1.Merge(a)
+	r1.Merge(b)
+	r2 := NewRegistry()
+	r2.Merge(b)
+	r2.Merge(a)
+	if !r1.Equal(r2) {
+		t.Fatalf("tie resolved differently: %+v vs %+v", r1.Snapshot(), r2.Snapshot())
+	}
+	// Exactly one of the two merges of the loser is a no-op; the winner is
+	// stable under re-merge of either.
+	win, _ := r1.Get(9)
+	if r1.Merge(a) || r1.Merge(b) {
+		t.Error("tie winner not stable under re-merge")
+	}
+	if got, _ := r1.Get(9); !bytes.Equal(got.canonical(), win.canonical()) {
+		t.Error("winner changed after re-merge")
+	}
+}
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Origin: 1, Seq: 7, Forwarder: true, Partition: "p0", GossipEP: 3,
+			Table: tbl("mpl", 1, map[string]string{"addr": "9", "fabric": "f"})},
+		{Origin: 2, Seq: 1, Tombstone: true, Partition: "p1"},
+	}
+	b := buffer.New(256)
+	EncodeRecords(b, recs)
+	got, err := DecodeRecords(b)
+	if err != nil {
+		t.Fatalf("DecodeRecords: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d records", len(got))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i].canonical(), recs[i].canonical()) {
+			t.Errorf("record %d did not round-trip: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+
+	// Truncated and hostile-count encodings fail cleanly.
+	enc := buffer.New(256)
+	EncodeRecords(enc, recs)
+	raw := enc.Bytes()
+	for cut := 1; cut < len(raw); cut += 7 {
+		short := buffer.New(0)
+		short.PutRaw(raw[:cut])
+		if _, err := DecodeRecords(short); err == nil && cut < len(raw)-1 {
+			// Some prefixes happen to parse as fewer records; the decoder
+			// just must not panic or over-allocate.
+			continue
+		}
+	}
+	hostile := buffer.New(8)
+	hostile.PutUint32(math.MaxUint32)
+	if _, err := DecodeRecords(hostile); err == nil {
+		t.Error("hostile record count accepted")
+	}
+}
+
+func TestDigestWindowRotation(t *testing.T) {
+	r := NewRegistry()
+	for i := uint64(1); i <= 10; i++ {
+		r.Merge(Record{Origin: transport.ContextID(i), Seq: 1, Table: tbl("mpl", i, nil)})
+	}
+	// Unbounded digest: full keyspace window, exhaustive entries.
+	d, next := r.Digest(0, 0)
+	if len(d.Entries) != 10 || d.Lo != 0 || d.Hi != math.MaxUint64 || next != 0 {
+		t.Fatalf("full digest = %+v next=%d", d, next)
+	}
+	// Bounded digest sweeps the table over successive rounds.
+	seen := map[transport.ContextID]bool{}
+	idx := 0
+	for round := 0; round < 4; round++ {
+		d, idx = r.Digest(idx, 4)
+		if len(d.Entries) != 4 {
+			t.Fatalf("bounded digest has %d entries", len(d.Entries))
+		}
+		for _, e := range d.Entries {
+			if !d.covers(e.Origin) {
+				t.Errorf("window [%d,%d] does not cover own entry %d", d.Lo, d.Hi, e.Origin)
+			}
+			seen[e.Origin] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("4 rounds of limit-4 digests covered %d of 10 origins", len(seen))
+	}
+
+	// Digest encoding round-trips.
+	b := buffer.New(128)
+	d.Encode(b)
+	got, err := DecodeDigest(b)
+	if err != nil || got.Lo != d.Lo || got.Hi != d.Hi || len(got.Entries) != len(d.Entries) {
+		t.Fatalf("digest round-trip: %+v err=%v", got, err)
+	}
+}
+
+func TestDeltaForPushPull(t *testing.T) {
+	newer := NewRegistry()
+	older := NewRegistry()
+	for i := uint64(1); i <= 5; i++ {
+		rec := Record{Origin: transport.ContextID(i), Seq: 2, Table: tbl("mpl", i, nil)}
+		newer.Merge(rec)
+		if i != 3 { // older lacks origin 3 entirely
+			older.Merge(Record{Origin: transport.ContextID(i), Seq: 1, Table: tbl("mpl", i, nil)})
+		}
+	}
+	older.Merge(Record{Origin: 9, Seq: 5, Table: tbl("wan", 9, nil)}) // only older has 9
+
+	d, _ := older.Digest(0, 0)
+	delta, wants := newer.DeltaFor(d, 0)
+	if len(delta) != 5 {
+		t.Errorf("delta = %d records, want 5 (all newer + missing)", len(delta))
+	}
+	if len(wants) != 1 || wants[0] != 9 {
+		t.Errorf("wants = %v, want [9]", wants)
+	}
+	// Applying the delta plus the answered want-list converges the pair.
+	older.MergeAll(delta)
+	newer.MergeAll(older.RecordsFor(wants, 0))
+	if !older.Equal(newer) {
+		t.Fatalf("pair did not converge:\n%+v\n%+v", older.Snapshot(), newer.Snapshot())
+	}
+
+	// The delta cap truncates lowest-origins-first, never errors.
+	empty := NewRegistry()
+	ed, _ := empty.Digest(0, 0)
+	capped, _ := newer.DeltaFor(ed, 2)
+	if len(capped) != 2 || capped[0].Origin != 1 || capped[1].Origin != 2 {
+		t.Errorf("capped delta = %+v", capped)
+	}
+}
+
+// FuzzGossipMerge is the convergence property under adversarial delivery:
+// however a batch of records is reordered, duplicated, or interleaved with
+// stale versions, every registry that saw the whole batch holds the same
+// table.
+func FuzzGossipMerge(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 2, 1, 0, 1, 1, 3}, uint8(3))
+	f.Add([]byte{5, 5, 5, 5, 0, 0, 0, 0, 9, 9, 1, 2, 3, 4}, uint8(7))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, rot uint8) {
+		// Derive a record batch from the fuzz bytes: 3 bytes each pick an
+		// origin, a sequence, and a kind (tombstone / table variant).
+		var recs []Record
+		for i := 0; i+2 < len(data) && len(recs) < 64; i += 3 {
+			origin := transport.ContextID(data[i]%8 + 1)
+			seq := uint64(data[i+1] % 8)
+			kind := data[i+2] % 4
+			rec := Record{Origin: origin, Seq: seq, Partition: "p"}
+			switch kind {
+			case 0:
+				rec.Tombstone = true
+			default:
+				rec.Forwarder = kind == 2
+				rec.Table = tbl("mpl", uint64(origin), map[string]string{
+					"addr": string(rune('a' + kind)),
+				})
+			}
+			recs = append(recs, rec)
+		}
+
+		forward := NewRegistry()
+		forward.MergeAll(recs)
+
+		// Reversed order.
+		reversed := NewRegistry()
+		for i := len(recs) - 1; i >= 0; i-- {
+			reversed.Merge(recs[i])
+		}
+
+		// Rotated, with every record delivered twice.
+		rotated := NewRegistry()
+		if n := len(recs); n > 0 {
+			r := int(rot) % n
+			for i := 0; i < n; i++ {
+				rotated.Merge(recs[(i+r)%n])
+				rotated.Merge(recs[(i+r)%n])
+			}
+		}
+
+		if !forward.Equal(reversed) {
+			t.Fatalf("forward and reversed delivery diverged:\n%+v\n%+v",
+				forward.Snapshot(), reversed.Snapshot())
+		}
+		if !forward.Equal(rotated) {
+			t.Fatalf("forward and rotated+duplicated delivery diverged:\n%+v\n%+v",
+				forward.Snapshot(), rotated.Snapshot())
+		}
+
+		// Records survive the wire encoding with merge semantics intact.
+		b := buffer.New(1024)
+		EncodeRecords(b, recs)
+		decoded, err := DecodeRecords(b)
+		if err != nil {
+			t.Fatalf("round-tripping fuzz records: %v", err)
+		}
+		wired := NewRegistry()
+		wired.MergeAll(decoded)
+		if !forward.Equal(wired) {
+			t.Fatalf("wire round-trip diverged:\n%+v\n%+v", forward.Snapshot(), wired.Snapshot())
+		}
+	})
+}

@@ -47,6 +47,25 @@ func writeText(w http.ResponseWriter, s *Snapshot) {
 				l.Method, l.Stage, l.Count, l.Mean, l.P50, l.P95, l.P99)
 		}
 	}
+	if len(s.Cluster) > 0 {
+		fmt.Fprintf(w, "  cluster membership (%d records):\n", len(s.Cluster))
+		fmt.Fprintf(w, "  %-10s %-12s %6s %-6s %-24s %s\n",
+			"context", "partition", "seq", "state", "methods", "route")
+		for _, m := range s.Cluster {
+			state := "live"
+			if m.Tombstone {
+				state = "dead"
+			} else if m.Forwarder {
+				state = "relay"
+			}
+			route := "direct"
+			if m.Via != 0 {
+				route = fmt.Sprintf("via %d", m.Via)
+			}
+			fmt.Fprintf(w, "  %-10d %-12s %6d %-6s %-24s %s\n",
+				m.Context, m.Partition, m.Seq, state, m.Methods, route)
+		}
+	}
 	// Counters render sorted: the copy is taken from the snapshot map here,
 	// outside any lock the producing context holds.
 	names := make([]string, 0, len(s.Counters))

@@ -369,4 +369,27 @@ type Snapshot struct {
 	TraceBuffered int    `json:"trace_buffered"`
 	TraceCapacity int    `json:"trace_capacity"`
 	TraceTotal    uint64 `json:"trace_total"`
+	// Cluster holds the membership view supplied by an attached gossip
+	// agent (empty when the context runs no cluster layer).
+	Cluster []ClusterMember `json:"cluster,omitempty"`
+}
+
+// ClusterMember is one row of a context's gossip membership view: what the
+// local registry believes about one origin, plus the mesh route (if any)
+// installed to reach it.
+type ClusterMember struct {
+	// Context is the member's context id.
+	Context uint64 `json:"context"`
+	// Partition is the member's partition tag.
+	Partition string `json:"partition,omitempty"`
+	// Seq is the member's registry version.
+	Seq uint64 `json:"seq"`
+	// Tombstone marks a departed member.
+	Tombstone bool `json:"tombstone,omitempty"`
+	// Forwarder marks a member advertising relay willingness.
+	Forwarder bool `json:"forwarder,omitempty"`
+	// Methods lists the member's advertised methods (comma-joined).
+	Methods string `json:"methods,omitempty"`
+	// Via is the next-hop relay id for a mesh-routed member (0 = direct).
+	Via uint64 `json:"via,omitempty"`
 }

@@ -276,9 +276,18 @@ func (m *Module) Init(env transport.Env) (*transport.Descriptor, error) {
 		// to a forwarder's mailbox while Context keeps naming the final
 		// destination.
 		"addr": strconv.FormatUint(uint64(env.Context), 10),
+		// scope lets a third party (mesh route computation) apply the same
+		// applicability rule Applicable enforces locally, for descriptor
+		// pairs it does not own either end of.
+		"scope": m.cfg.Scope.String(),
 	}
 	if m.cfg.MaxMessage > 0 {
 		attrs[transport.AttrMaxMessage] = strconv.Itoa(m.cfg.MaxMessage)
+	}
+	if cost := m.cfg.Latency + m.cfg.PollCost; cost > 0 {
+		// Advertise the modelled per-message cost so cost-aware routing can
+		// weight edges between remote contexts it has never sent over.
+		attrs[transport.AttrCost] = strconv.FormatInt(cost.Nanoseconds(), 10)
 	}
 	return &transport.Descriptor{
 		Method:  m.cfg.Method,

@@ -47,6 +47,31 @@ func (d Descriptor) Attr(key string) string { return d.Attrs[key] }
 // steer bulk sends toward methods that can carry them natively.
 const AttrMaxMessage = "max_message"
 
+// AttrRelay marks a mesh-installed relay route: the value is the decimal
+// context id of the next-hop relay. Senders binding such a descriptor stamp
+// the wire relay extension (hop budget + loop suppression), and forwarders
+// skip route entries pointing back at the hop a frame just arrived from.
+const AttrRelay = "relay"
+
+// AttrCost advertises a rough per-message cost for the link in nanoseconds
+// (latency plus detection), the static fallback cost-aware mesh routing uses
+// for remote-to-remote edges it cannot observe directly.
+const AttrCost = "cost_ns"
+
+// Cost reports the descriptor's advertised cost estimate in nanoseconds
+// (0 when absent or malformed).
+func (d Descriptor) Cost() int64 {
+	a := d.Attrs[AttrCost]
+	if a == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(a, 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
 // MaxMessage reports the descriptor's advertised frame-size limit in bytes
 // (0 when absent or malformed, meaning "no advertised limit").
 func (d Descriptor) MaxMessage() int {

@@ -56,6 +56,14 @@ func FuzzDecode(f *testing.F) {
 	badKind := append([]byte(nil), rpc...)
 	badKind[headerFixed+1+8] = 0xEE
 	f.Add(badKind)
+	// Relay-extension seeds: a relayed frame, and a zero TTL, steering the
+	// fuzzer into the FlagRelay parse path (FuzzDecodeRelayExt goes deeper).
+	relayed := (&Frame{Type: TypeRSR, Flags: FlagRelay,
+		Relay: RelayExt{TTL: 6, Via: 42}, Handler: "relay"}).Encode()
+	f.Add(relayed)
+	zeroTTL := append([]byte(nil), relayed...)
+	zeroTTL[headerFixed+1] = 0
+	f.Add(zeroTTL)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := Decode(data)
 		if err != nil {

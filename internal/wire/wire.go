@@ -81,6 +81,10 @@ const (
 	// and the kind-dependent auxiliary word (8).
 	rpcExtLen = 8 + 1 + 8
 
+	// relayExtLen is the size of the relay extension: remaining hop budget
+	// (1) and the context that last forwarded the frame (8).
+	relayExtLen = 1 + 8
+
 	// MaxFrameLen is the largest encoded frame any version can produce:
 	// extended fixed header, maximal handler name, every extension, payload
 	// length prefix, and maximal payload. Stream and datagram transports use
@@ -88,7 +92,7 @@ const (
 	// (MaxPayload plus a hand-picked slack) undercounted the header and
 	// could kill a connection carrying a legal frame with a maximal handler
 	// name.
-	MaxFrameLen = headerFixed + 1 + traceExtLen + fragExtLen + creditExtLen + rpcExtLen + MaxHandlerLen + 4 + MaxPayload
+	MaxFrameLen = headerFixed + 1 + traceExtLen + fragExtLen + creditExtLen + rpcExtLen + relayExtLen + MaxHandlerLen + 4 + MaxPayload
 )
 
 // Header extension flags (versionExt frames only).
@@ -116,7 +120,7 @@ const (
 	// byte, bits 3-4. Class bits select no extension — they change frame
 	// treatment (dispatch lane, shed policy), not header length — but a
 	// nonzero class still forces the versionExt header since v1 has no flags
-	// byte. Bits 6-7 stay reserved and are rejected as unknown.
+	// byte. Bit 7 stays reserved and is rejected as unknown.
 	classShift = 3
 	ClassMask  = byte(3 << classShift)
 
@@ -130,10 +134,20 @@ const (
 	// precedes the handler name.
 	FlagRPC = byte(1 << 5)
 
+	// FlagRelay marks a multi-hop relay extension: a one-byte remaining hop
+	// budget (TTL) and the 8-byte id of the context that last forwarded the
+	// frame (0 while the frame is still at its originator). Forwarders
+	// decrement the TTL and stamp themselves as the via context before
+	// relaying; a frame whose TTL would reach zero is dropped, and a relay
+	// never selects a next hop equal to the via context, so transient routing
+	// loops self-extinguish. It follows the RPC extension (flag-bit order)
+	// and precedes the handler name.
+	FlagRelay = byte(1 << 6)
+
 	// knownFlags is the set of flags this decoder understands. Unknown flags
 	// change the header length, so a frame carrying any is undecodable and
 	// rejected rather than misparsed.
-	knownFlags = FlagTrace | FlagFrag | FlagCredit | ClassMask | FlagRPC
+	knownFlags = FlagTrace | FlagFrag | FlagCredit | ClassMask | FlagRPC | FlagRelay
 )
 
 // RPC extension kinds (RPCExt.Kind). Kind 0 and values beyond RPCMaxKind are
@@ -174,6 +188,13 @@ type RPCExt struct {
 	Call uint64
 	Kind byte
 	Aux  uint64
+}
+
+// RelayExt is the decoded FlagRelay extension: the frame's remaining hop
+// budget and the context that last forwarded it (0 at the originator).
+type RelayExt struct {
+	TTL byte
+	Via uint64
 }
 
 // Class is a frame's priority class, carried in the flags byte (bits 3-4).
@@ -219,6 +240,7 @@ var (
 	ErrBadFlags   = errors.New("wire: unknown or empty header flags")
 	ErrBadFrag    = errors.New("wire: invalid fragment extension")
 	ErrBadRPC     = errors.New("wire: invalid rpc extension")
+	ErrBadRelay   = errors.New("wire: invalid relay extension")
 )
 
 // Frame is a decoded message frame.
@@ -255,6 +277,8 @@ type Frame struct {
 	CreditFrames uint64
 	// RPC carries the FlagRPC extension (zero when the flag is absent).
 	RPC RPCExt
+	// Relay carries the FlagRelay extension (zero when the flag is absent).
+	Relay RelayExt
 	// Handler names the remote handler to invoke.
 	Handler string
 	// Payload is the encoded argument buffer (see internal/buffer).
@@ -272,6 +296,9 @@ func (f *Frame) HasCredit() bool { return f.Flags&FlagCredit != 0 }
 
 // HasRPC reports whether the frame carries the RPC extension.
 func (f *Frame) HasRPC() bool { return f.Flags&FlagRPC != 0 }
+
+// HasRelay reports whether the frame carries the relay extension.
+func (f *Frame) HasRelay() bool { return f.Flags&FlagRelay != 0 }
 
 // Class reports the frame's priority class from its flag bits.
 func (f *Frame) Class() Class { return Class((f.Flags & ClassMask) >> classShift) }
@@ -294,6 +321,9 @@ func extLen(flags byte) int {
 	}
 	if flags&FlagRPC != 0 {
 		n += rpcExtLen
+	}
+	if flags&FlagRelay != 0 {
+		n += relayExtLen
 	}
 	return n
 }
@@ -351,6 +381,8 @@ type Ext struct {
 	CreditFrames uint64
 	// RPC fills the FlagRPC extension.
 	RPC RPCExt
+	// Relay fills the FlagRelay extension.
+	Relay RelayExt
 }
 
 // EncodeHeaderExt is EncodeHeader for a frame carrying header extensions:
@@ -391,6 +423,11 @@ func EncodeHeaderExt(dst []byte, typ, flags byte, destCtx, destEP, srcCtx uint64
 		binary.BigEndian.PutUint64(dst[n+9:], ext.RPC.Aux)
 		n += rpcExtLen
 	}
+	if flags&FlagRelay != 0 {
+		dst[n] = ext.Relay.TTL
+		binary.BigEndian.PutUint64(dst[n+1:], ext.Relay.Via)
+		n += relayExtLen
+	}
 	n += copy(dst[n:], handler)
 	binary.BigEndian.PutUint32(dst[n:], uint32(payloadLen))
 	return n + 4
@@ -413,6 +450,40 @@ func PatchDest(dst []byte, ctx, ep uint64) {
 	binary.BigEndian.PutUint64(dst[off+8:], ep)
 }
 
+// PatchRelay rewrites the relay extension of an encoded frame in place,
+// leaving every other byte untouched. It reports whether the frame carries
+// the extension (a v1 or relay-less frame is left alone). Forwarders use it
+// to decrement the hop budget and stamp themselves as the via context on the
+// raw relayed bytes, without re-encoding the frame.
+func PatchRelay(dst []byte, ttl byte, via uint64) bool {
+	if len(dst) < headerFixed+1 || dst[0] != magic || dst[1] != versionExt {
+		return false
+	}
+	flags := dst[3]
+	if flags&FlagRelay == 0 {
+		return false
+	}
+	n := headerFixed + 1
+	if flags&FlagTrace != 0 {
+		n += traceExtLen
+	}
+	if flags&FlagFrag != 0 {
+		n += fragExtLen
+	}
+	if flags&FlagCredit != 0 {
+		n += creditExtLen
+	}
+	if flags&FlagRPC != 0 {
+		n += rpcExtLen
+	}
+	if len(dst) < n+relayExtLen {
+		return false
+	}
+	dst[n] = ttl
+	binary.BigEndian.PutUint64(dst[n+1:], via)
+	return true
+}
+
 // Encode serializes the frame.
 func (f *Frame) Encode() []byte {
 	out := make([]byte, f.EncodedLen())
@@ -427,7 +498,7 @@ func (f *Frame) EncodeTo(dst []byte) int {
 	n := EncodeHeaderExt(dst, f.Type, f.Flags,
 		f.DestContext, f.DestEndpoint, f.SrcContext,
 		Ext{Trace: f.Trace, FragID: f.FragID, FragIndex: f.FragIndex, FragTotal: f.FragTotal,
-			CreditBytes: f.CreditBytes, CreditFrames: f.CreditFrames, RPC: f.RPC},
+			CreditBytes: f.CreditBytes, CreditFrames: f.CreditFrames, RPC: f.RPC, Relay: f.Relay},
 		f.Handler, len(f.Payload))
 	n += copy(dst[n:], f.Payload)
 	return n
@@ -465,6 +536,7 @@ func DecodeInto(f *Frame, p []byte) error {
 		f.FragID, f.FragIndex, f.FragTotal = 0, 0, 0
 		f.CreditBytes, f.CreditFrames = 0, 0
 		f.RPC = RPCExt{}
+		f.Relay = RelayExt{}
 		f.Type = p[2]
 		f.DestContext = binary.BigEndian.Uint64(p[3:])
 		f.DestEndpoint = binary.BigEndian.Uint64(p[11:])
@@ -545,6 +617,22 @@ func DecodeInto(f *Frame, p []byte) error {
 			n += rpcExtLen
 		} else {
 			f.RPC = RPCExt{}
+		}
+		if flags&FlagRelay != 0 {
+			if len(p) < n+relayExtLen+4 {
+				return ErrShortFrame
+			}
+			f.Relay.TTL = p[n]
+			f.Relay.Via = binary.BigEndian.Uint64(p[n+1:])
+			// A zero hop budget is never encoded: the originator stamps a
+			// positive TTL and relays drop a frame instead of forwarding it
+			// with TTL 0. Reject rather than let a corrupt frame circulate.
+			if f.Relay.TTL == 0 {
+				return ErrBadRelay
+			}
+			n += relayExtLen
+		} else {
+			f.Relay = RelayExt{}
 		}
 	default:
 		return ErrBadVersion

@@ -208,7 +208,9 @@ const (
 // NewContext creates a context and initializes its modules. When
 // Options.RPC.Enabled is set, the request/response layer (internal/rpc) is
 // attached before the context is returned: RegisterRPC, Call, and CallStream
-// work immediately.
+// work immediately. When Options.Cluster.Enabled is set, a gossip membership
+// agent (internal/cluster) is attached: retrieve it with ClusterNodeOf, join
+// an existing cluster with Join, and start background anti-entropy with Run.
 func NewContext(opts Options) (*Context, error) {
 	c, err := core.NewContext(opts)
 	if err != nil {
@@ -216,6 +218,17 @@ func NewContext(opts Options) (*Context, error) {
 	}
 	if opts.RPC.Enabled {
 		rpc.Enable(c, opts.RPC)
+	}
+	if opts.Cluster.Enabled {
+		cluster.Attach(c, cluster.NodeConfig{
+			Forwarder: opts.Cluster.Forwarder,
+			Mesh:      opts.Cluster.Mesh,
+			Fanout:    opts.Cluster.Fanout,
+			Interval:  opts.Cluster.Interval,
+			MaxDigest: opts.Cluster.MaxDigest,
+			MaxDelta:  opts.Cluster.MaxDelta,
+			Seed:      opts.Cluster.Seed,
+		})
 	}
 	return c, nil
 }
@@ -377,6 +390,33 @@ var (
 	UniformMachine = cluster.Uniform
 	// TwoPartitionMachine mirrors the paper's case-study layout.
 	TwoPartitionMachine = cluster.TwoPartition
+)
+
+// Dynamic cluster membership (internal/cluster): gossip-replicated descriptor
+// registry, runtime method add/remove propagation, and the multi-hop relay
+// mesh. Enable per context with Options.Cluster, or machine-wide with
+// MachineConfig.Dynamic.
+type (
+	// ClusterConfig enables and tunes a context's gossip membership agent
+	// (Options.Cluster).
+	ClusterConfig = core.ClusterConfig
+	// ClusterNode is a context's gossip membership agent: Join, Leave, Step,
+	// Run, Registry, and RouteVia.
+	ClusterNode = cluster.Node
+	// ClusterNodeConfig tunes a gossip agent attached via AttachCluster or
+	// MachineConfig.Dynamic.
+	ClusterNodeConfig = cluster.NodeConfig
+	// ClusterMember is one row of a context's membership view
+	// (ObserveSnapshot.Cluster, /debug/nexusz).
+	ClusterMember = obsv.ClusterMember
+)
+
+var (
+	// AttachCluster attaches a gossip membership agent to a context built
+	// without Options.Cluster (e.g. machine bootstrap).
+	AttachCluster = cluster.Attach
+	// ClusterNodeOf returns the agent attached to a context, or nil.
+	ClusterNodeOf = cluster.NodeOf
 )
 
 // Mini-MPI layered on the core (internal/mpi).
